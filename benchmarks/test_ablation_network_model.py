@@ -1,0 +1,48 @@
+"""Ablation: fluid max-min fair links vs exclusive hold-the-link (CSIM).
+
+The paper's simulator holds links exclusively for each transmission; our
+default shares bandwidth max-min fairly.  The headline result must not
+depend on that modelling choice: EDF beats LF under both.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import replace
+
+from conftest import one_shot
+from repro.experiments.common import default_seeds, run_many
+from repro.mapreduce.config import SimulationConfig
+
+MODELS = ("fluid", "exclusive")
+SCHEDULERS = ("LF", "EDF")
+
+
+def run_ablation() -> dict[tuple[str, str], float]:
+    seeds = default_seeds()
+    configs = []
+    for model in MODELS:
+        for name in SCHEDULERS:
+            for seed in seeds:
+                configs.append(
+                    replace(
+                        SimulationConfig(network_model=model), scheduler=name, seed=seed
+                    )
+                )
+    results = run_many(configs)
+    samples: dict[tuple[str, str], list[float]] = {}
+    for config, result in zip(configs, results):
+        samples.setdefault((config.network_model, config.scheduler), []).append(
+            result.job(0).runtime
+        )
+    return {key: statistics.mean(values) for key, values in samples.items()}
+
+
+def test_ablation_network_model(benchmark):
+    means = one_shot(benchmark, run_ablation)
+    print("\nAblation: network contention model (mean runtime, s)")
+    for model in MODELS:
+        lf = means[(model, "LF")]
+        edf = means[(model, "EDF")]
+        print(f"  {model:>9}: LF={lf:8.1f}  EDF={edf:8.1f}  reduction={(lf - edf) / lf:.1%}")
+        assert edf < lf, f"EDF must beat LF under the {model} model"

@@ -1,0 +1,27 @@
+"""Benchmark: Figure 3, the motivating example (LF 40 s vs DF 30 s)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import one_shot
+from repro.experiments.fig3_motivating import (
+    degraded_first_schedule,
+    locality_first_schedule,
+    map_phase_duration,
+    run_schedule,
+)
+
+
+def test_fig3_locality_first(benchmark):
+    timings = one_shot(benchmark, run_schedule, locality_first_schedule())
+    duration = map_phase_duration(timings)
+    print(f"\nFigure 3(a) locality-first map phase: {duration:.0f} s (paper: 40 s)")
+    assert duration == pytest.approx(40.0)
+
+
+def test_fig3_degraded_first(benchmark):
+    timings = one_shot(benchmark, run_schedule, degraded_first_schedule())
+    duration = map_phase_duration(timings)
+    print(f"\nFigure 3(b) degraded-first map phase: {duration:.0f} s (paper: 30 s)")
+    assert duration == pytest.approx(30.0)

@@ -1,0 +1,53 @@
+"""Benchmarks: Figure 5, the analytical model's three sweeps.
+
+Paper shapes asserted: DF <= LF everywhere; LF grows with k while DF stays
+flat at 1 Gbps; reductions span roughly 15-45%; DF saturates at 500 Mbps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import one_shot
+from repro.experiments.fig5_analysis import run_fig5a, run_fig5b, run_fig5c
+
+
+def _print(points, title):
+    print(f"\n{title}")
+    for point in points:
+        print(
+            f"  {point.label:>10}: LF={point.normalized_lf:.3f} "
+            f"DF={point.normalized_df:.3f} reduction={point.reduction:.1%}"
+        )
+
+
+def test_fig5a(benchmark):
+    points = one_shot(benchmark, run_fig5a)
+    _print(points, "Figure 5(a): runtime vs coding scheme")
+    lf = [point.normalized_lf for point in points]
+    assert lf == sorted(lf), "LF must grow with k"
+    assert len({round(p.normalized_df, 9) for p in points}) == 1, "DF flat"
+    for point in points:
+        assert 0.10 <= point.reduction <= 0.45
+
+
+def test_fig5b(benchmark):
+    points = one_shot(benchmark, run_fig5b)
+    _print(points, "Figure 5(b): runtime vs number of blocks")
+    lf = [point.normalized_lf for point in points]
+    df = [point.normalized_df for point in points]
+    assert lf == sorted(lf, reverse=True)
+    assert df == sorted(df, reverse=True)
+    for point in points:
+        assert 0.20 <= point.reduction <= 0.35  # paper: 25-28%
+
+
+def test_fig5c(benchmark):
+    points = one_shot(benchmark, run_fig5c)
+    _print(points, "Figure 5(c): runtime vs download bandwidth")
+    by_label = {point.label: point for point in points}
+    assert by_label["500Mbps"].normalized_df == pytest.approx(
+        by_label["1000Mbps"].normalized_df
+    ), "DF saturates once reads fit in one round"
+    for point in points:
+        assert 0.10 <= point.reduction <= 0.50  # paper: 18-43%

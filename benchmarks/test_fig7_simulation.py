@@ -1,0 +1,85 @@
+"""Benchmarks: Figure 7, simulated LF vs EDF over six parameter sweeps.
+
+Assertions target the paper's *shapes*: EDF's median normalized runtime is
+below LF's in every setting; the EDF-over-LF reduction grows with the
+coding parameters; single-node failures benefit more than rack failures.
+
+Sample counts follow ``REPRO_SEEDS`` (abbreviated by default; 30 = paper).
+"""
+
+from __future__ import annotations
+
+from conftest import one_shot
+from repro.experiments.fig7_simulation import (
+    run_fig7a,
+    run_fig7b,
+    run_fig7c,
+    run_fig7d,
+    run_fig7e,
+    run_fig7f,
+)
+
+
+def _assert_edf_wins(table, rows=None):
+    print("\n" + table.format())
+    for label, columns in table.rows.items():
+        if rows is not None and label not in rows:
+            continue
+        assert columns["EDF"].median <= columns["LF"].median, (
+            f"EDF should beat LF at {label}"
+        )
+
+
+def test_fig7a(benchmark):
+    table = one_shot(benchmark, run_fig7a)
+    _assert_edf_wins(table)
+    # Reduction grows with (n, k): compare the extremes.
+    small = table.reduction("(8,6)", "LF", "EDF")
+    large = table.reduction("(20,15)", "LF", "EDF")
+    assert large > small, "larger codes should benefit more (paper: 17% -> 33%)"
+
+
+def test_fig7b(benchmark):
+    table = one_shot(benchmark, run_fig7b)
+    _assert_edf_wins(table)
+    for label in table.rows:
+        assert table.reduction(label, "LF", "EDF") > 0.15  # paper: ~35-40%
+
+
+def test_fig7c(benchmark):
+    table = one_shot(benchmark, run_fig7c)
+    _assert_edf_wins(table)
+    # Both schedulers slow down as bandwidth shrinks.
+    lf_medians = [columns["LF"].median for columns in table.rows.values()]
+    assert lf_medians == sorted(lf_medians, reverse=True)
+
+
+def test_fig7d(benchmark):
+    table = one_shot(benchmark, run_fig7d)
+    _assert_edf_wins(table, rows=("single-node", "double-node"))
+    single = table.reduction("single-node", "LF", "EDF")
+    rack = table.reduction("rack", "LF", "EDF")
+    assert single > rack, "rack failures leave less room to win (paper: 33% vs 6%)"
+    # Severity ordering: more failures, higher normalized runtime.
+    lf = {label: columns["LF"].median for label, columns in table.rows.items()}
+    assert lf["single-node"] < lf["double-node"] < lf["rack"]
+
+
+def test_fig7e(benchmark):
+    table = one_shot(benchmark, run_fig7e)
+    _assert_edf_wins(table)
+    # EDF's normalized runtime creeps up with shuffle volume (its degraded
+    # reads now compete with live shuffle traffic).
+    edf = [columns["EDF"].median for columns in table.rows.values()]
+    assert edf[-1] >= edf[0]
+
+
+def test_fig7f(benchmark):
+    table = one_shot(benchmark, run_fig7f)
+    print("\n" + table.format())
+    wins = sum(
+        1
+        for columns in table.rows.values()
+        if columns["EDF"].median <= columns["LF"].median
+    )
+    assert wins >= 8, f"EDF should win for nearly every job, won {wins}/10"

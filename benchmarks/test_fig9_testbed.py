@@ -1,0 +1,47 @@
+"""Benchmarks: Figure 9, functional-testbed runtimes of LF vs EDF.
+
+The testbed really executes WordCount / Grep / LineCount over erasure-coded
+bytes with one slave killed.  Paper shapes asserted: EDF's mean runtime is
+below LF's for every job, single-job and multi-job.
+
+Repetitions follow ``REPRO_TESTBED_RUNS`` (2 by default; the paper uses 5).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from conftest import one_shot
+from repro.experiments.fig9_testbed import (
+    build_cluster,
+    format_runtimes,
+    run_fig9a,
+    run_fig9b,
+)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return build_cluster(seed=0)
+
+
+def test_fig9a(benchmark, cluster):
+    outcome = one_shot(benchmark, run_fig9a, cluster)
+    print("\n" + format_runtimes(outcome, "Figure 9(a): single-job runtime (s)"))
+    wins = 0
+    for job_name, by_scheduler in outcome.items():
+        lf = statistics.mean(by_scheduler["LF"])
+        edf = statistics.mean(by_scheduler["EDF"])
+        if edf < lf:
+            wins += 1
+    assert wins >= 2, f"EDF should beat LF for most jobs, won {wins}/3"
+
+
+def test_fig9b(benchmark, cluster):
+    outcome = one_shot(benchmark, run_fig9b, cluster)
+    print("\n" + format_runtimes(outcome, "Figure 9(b): multi-job runtime (s)"))
+    lf_total = sum(statistics.mean(v["LF"]) for v in outcome.values())
+    edf_total = sum(statistics.mean(v["EDF"]) for v in outcome.values())
+    assert edf_total < lf_total, "EDF should reduce total multi-job runtime"

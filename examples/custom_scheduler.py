@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Plug a custom scheduling policy into the simulator.
+
+The scheduler interface (:class:`repro.core.scheduler.Scheduler`) is the
+extension point of this library: subclass it, implement ``assign_maps``,
+and the simulator runs your policy against the paper's workloads.  Here we
+implement the naive strawman the paper argues against implicitly --
+*eager-degraded* scheduling, which launches ALL degraded tasks first --
+and show why pacing matters: eager launching recreates the very network
+competition degraded-first scheduling is meant to avoid.
+
+Run:  python examples/custom_scheduler.py
+"""
+
+from repro import FailurePattern, SimulationConfig
+from repro.core.scheduler import Scheduler, register_scheduler
+from repro.mapreduce.simulation import run_simulation
+
+
+class EagerDegradedScheduler(Scheduler):
+    """Launch every degraded task as soon as any slot frees.
+
+    The opposite extreme from locality-first: degraded tasks get strict
+    priority with no pacing and no one-per-heartbeat cap, so they all start
+    their degraded reads together at the *beginning* of the map phase and
+    compete for the rack downlinks there instead of at the end.
+    """
+
+    name = "EAGER-DEMO"
+
+    def assign_maps(self, slave_id, free_map_slots, jobs, now):
+        del now
+        assignments = []
+        for job in jobs:
+            while free_map_slots > 0:
+                assignment = (
+                    self._try_degraded(job, slave_id)
+                    or self._try_local(job, slave_id)
+                    or self._try_remote(job, slave_id)
+                )
+                if assignment is None:
+                    break
+                assignments.append(assignment)
+                free_map_slots -= 1
+            if free_map_slots == 0:
+                break
+        return assignments
+
+
+def main() -> None:
+    # Register the custom policy so SimulationConfig accepts its name.
+    register_scheduler(EagerDegradedScheduler)
+
+    config = SimulationConfig(seed=5)
+    print("Comparing schedulers on the paper's default degraded cluster:\n")
+    results = {}
+    for name in ("LF", "EAGER-DEMO", "BDF", "EDF"):
+        result = run_simulation(config.with_scheduler(name))
+        job = result.job(0)
+        results[name] = job.runtime
+        print(
+            f"  {name:>5}: runtime={job.runtime:7.1f} s   "
+            f"mean degraded read={job.mean_degraded_read_time():6.1f} s"
+        )
+    normal = run_simulation(config.with_failure(FailurePattern.NONE))
+    print(f"\n  normal mode: {normal.job(0).runtime:.1f} s")
+    print(
+        "\nEager launching beats locality-first (it hides downloads behind the"
+        "\nmap phase) but loses to paced BDF/EDF: starting every degraded read"
+        "\nat once congests the rack downlinks just as badly, only earlier."
+    )
+    if not (results["EDF"] <= results["EAGER-DEMO"] <= results["LF"]):
+        print("\nnote: ordering can vary slightly run to run; try other seeds.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Capacity planning: how failure patterns and codes affect job slowdown.
+
+A storage operator choosing an erasure code wants to know the MapReduce
+penalty of running degraded.  This example sweeps coding schemes and
+failure patterns on a mid-size cluster and prints the failure-mode slowdown
+(normalized runtime) under LF and EDF -- the kind of table one would build
+before enabling HDFS-RAID in production.
+
+Run:  python examples/failure_sweep.py        (takes a minute or two)
+"""
+
+from dataclasses import replace
+
+from repro import CodeParams, FailurePattern, JobConfig, SimulationConfig, run_simulation
+
+#: A smaller cluster than the paper default keeps this example snappy.
+BASE = SimulationConfig(
+    num_nodes=16,
+    num_racks=4,
+    map_slots=2,
+    code=CodeParams(8, 6),
+    jobs=(JobConfig(num_blocks=320, num_reduce_tasks=8),),
+    seed=7,
+)
+
+
+def normalized(config: SimulationConfig, scheduler: str) -> float:
+    failure = run_simulation(config.with_scheduler(scheduler))
+    normal = run_simulation(config.with_failure(FailurePattern.NONE))
+    return failure.job(0).runtime / normal.job(0).runtime
+
+
+def sweep_codes() -> None:
+    print("Normalized runtime vs erasure code (single node failure):")
+    print(f"  {'code':>8}  {'LF':>6}  {'EDF':>6}  {'EDF saves':>9}")
+    for code in (CodeParams(6, 4), CodeParams(8, 6), CodeParams(12, 9)):
+        config = replace(BASE, code=code)
+        lf = normalized(config, "LF")
+        edf = normalized(config, "EDF")
+        print(f"  {str(code):>8}  {lf:6.3f}  {edf:6.3f}  {(lf - edf) / lf:>8.1%}")
+
+
+def sweep_failures() -> None:
+    print("\nNormalized runtime vs failure pattern ((8,6) code):")
+    print(f"  {'failure':>12}  {'LF':>6}  {'EDF':>6}  {'EDF saves':>9}")
+    for pattern in (
+        FailurePattern.SINGLE_NODE,
+        FailurePattern.DOUBLE_NODE,
+        FailurePattern.RACK,
+    ):
+        config = BASE.with_failure(pattern)
+        lf = normalized(config, "LF")
+        edf = normalized(config, "EDF")
+        print(
+            f"  {pattern.value:>12}  {lf:6.3f}  {edf:6.3f}  {(lf - edf) / lf:>8.1%}"
+        )
+
+
+def main() -> None:
+    sweep_codes()
+    sweep_failures()
+    print(
+        "\nLarger codes and heavier failures raise the penalty; degraded-first"
+        "\nscheduling recovers most of it except under whole-rack failures,"
+        "\nwhere surviving bandwidth, not scheduling, is the bottleneck."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""What happens when the node dies mid-job?
+
+The paper's experiments fail a node before the job starts; real failures
+strike anywhere.  This example sweeps the failure instant across the map
+phase and shows how the penalty shrinks as the strike comes later -- the
+failed node's already-processed blocks never need degraded reads -- and
+that degraded-first scheduling helps at every strike time.
+
+Run:  python examples/midrun_failure.py
+"""
+
+from dataclasses import replace
+
+from repro import CodeParams, FailurePattern, JobConfig, SimulationConfig, run_simulation
+from repro.cluster.network import MB, mbps
+
+BASE = SimulationConfig(
+    num_nodes=12,
+    num_racks=4,
+    map_slots=2,
+    code=CodeParams(8, 6),
+    block_size=64 * MB,
+    # A constrained network makes degraded reads expensive, as in the
+    # paper's 100 Mbps motivating example.
+    rack_bandwidth=mbps(200),
+    jobs=(JobConfig(num_blocks=240, num_reduce_tasks=6),),
+    seed=13,
+)
+
+
+def main() -> None:
+    normal = run_simulation(BASE.with_failure(FailurePattern.NONE)).job(0).runtime
+    print(f"normal-mode runtime: {normal:.1f} s\n")
+    print(f"{'strike time':>12}  {'LF':>8}  {'EDF':>8}  {'LF degraded':>11}  {'EDF saves':>9}")
+    for strike in (0.0, 100.0, 200.0, 300.0):
+        row = {}
+        degraded = 0
+        for scheduler in ("LF", "EDF"):
+            config = replace(BASE, failure_time=strike, scheduler=scheduler)
+            result = run_simulation(config)
+            row[scheduler] = result.job(0).runtime
+            if scheduler == "LF":
+                degraded = result.job(0).degraded_task_count
+        saving = (row["LF"] - row["EDF"]) / row["LF"]
+        print(
+            f"{strike:>10.0f} s  {row['LF']:8.1f}  {row['EDF']:8.1f}  "
+            f"{degraded:>11d}  {saving:>8.1%}"
+        )
+    print(
+        "\nLater failures lose less work (fewer blocks still need degraded"
+        "\nreads); EDF's advantage is largest for early strikes and fades to"
+        "\nzero once no degraded work remains to schedule."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""The paper's motivating example (Section III, Figures 2-3), step by step.
+
+A five-node, two-rack cluster stores 12 native + 12 parity blocks under a
+(4,2) code.  Node 1 fails while a map-only job runs.  Locality-first
+scheduling launches the four degraded tasks together at the end of the map
+phase, so the two readers in rack 1 compete for the rack downlink and the
+phase stretches to 40 s.  Moving two degraded tasks to the front removes
+all competition and finishes in 30 s -- a 25% saving, the observation that
+motivates degraded-first scheduling.
+
+Run:  python examples/motivating_example.py
+"""
+
+from repro.experiments.fig3_motivating import (
+    degraded_first_schedule,
+    locality_first_schedule,
+    map_phase_duration,
+    run_schedule,
+)
+
+
+def show_timeline(label: str, schedule) -> float:
+    timings = run_schedule(schedule)
+    print(f"{label}:")
+    for timing in sorted(timings, key=lambda t: (t.node, t.launch)):
+        download = ""
+        if timing.download_done > timing.launch:
+            download = f"  (download {timing.launch:.0f}-{timing.download_done:.0f} s)"
+        print(
+            f"  node {timing.node + 1}: {timing.name:9s} "
+            f"runs {timing.launch:5.1f} -> {timing.finish:5.1f} s{download}"
+        )
+    duration = map_phase_duration(timings)
+    print(f"  map phase: {duration:.0f} s\n")
+    return duration
+
+
+def main() -> None:
+    lf = show_timeline("Locality-first (Figure 3a)", locality_first_schedule())
+    df = show_timeline("Degraded-first (Figure 3b)", degraded_first_schedule())
+    print(f"Degraded-first saves {(lf - df) / lf:.0%} of the map phase (paper: 25%).")
+
+
+if __name__ == "__main__":
+    main()

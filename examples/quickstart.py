@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Quickstart: simulate a MapReduce job on a degraded erasure-coded cluster.
+
+Builds the paper's default simulated cluster (40 nodes, 4 racks, (20,15)
+code, 1440 blocks), fails one node, and compares Hadoop's locality-first
+scheduling (LF) against the paper's enhanced degraded-first scheduling
+(EDF).  Expect EDF to cut the failure-mode runtime by roughly 30%.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FailurePattern, SimulationConfig, run_simulation
+
+
+def main() -> None:
+    config = SimulationConfig(seed=42)
+
+    print("Simulating the paper's default cluster with one failed node...\n")
+    runtimes = {}
+    for scheduler in ("LF", "BDF", "EDF"):
+        result = run_simulation(config.with_scheduler(scheduler))
+        job = result.job(0)
+        runtimes[scheduler] = job.runtime
+        print(
+            f"  {scheduler}: runtime={job.runtime:7.1f} s   "
+            f"degraded tasks={job.degraded_task_count}   "
+            f"mean degraded read={job.mean_degraded_read_time():5.1f} s"
+        )
+
+    normal = run_simulation(config.with_failure(FailurePattern.NONE))
+    print(f"\n  normal mode (no failure): {normal.job(0).runtime:7.1f} s")
+
+    reduction = (runtimes["LF"] - runtimes["EDF"]) / runtimes["LF"]
+    print(f"\nEDF reduces LF's failure-mode runtime by {reduction:.1%}.")
+    print("The paper reports reductions of ~17-40% depending on configuration.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Degraded-first scheduling for MapReduce in erasure-coded storage clusters.
+
+A full reproduction of Li, Lee & Hu (DSN 2014): the LF / BDF / EDF
+schedulers (:mod:`repro.core`), the erasure-coding and HDFS-RAID storage
+substrates (:mod:`repro.ec`, :mod:`repro.storage`), a discrete-event
+MapReduce simulator (:mod:`repro.sim`, :mod:`repro.mapreduce`), the
+closed-form analysis (:mod:`repro.analysis`), a functional threaded testbed
+(:mod:`repro.testbed`), and per-figure experiment harnesses
+(:mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> from repro import SimulationConfig, run_simulation
+>>> result = run_simulation(SimulationConfig(scheduler="EDF", seed=1))
+>>> result.job(0).runtime  # doctest: +SKIP
+270.9
+"""
+
+from repro.cluster.failures import FailurePattern
+from repro.ec.codec import CodeParams
+from repro.mapreduce.config import JobConfig, SimulationConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CodeParams",
+    "FailurePattern",
+    "JobConfig",
+    "SimulationConfig",
+    "run_simulation",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    """Lazily expose :func:`repro.mapreduce.simulation.run_simulation`."""
+    if name == "run_simulation":
+        from repro.mapreduce.simulation import run_simulation
+
+        return run_simulation
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,17 @@
+"""Closed-form analysis of MapReduce runtime (Section IV-B of the paper).
+
+* :mod:`repro.analysis.model` -- the runtime formulas for normal mode,
+  locality-first scheduling and degraded-first scheduling.
+* :mod:`repro.analysis.sweep` -- parameter sweeps reproducing Figure 5.
+"""
+
+from repro.analysis.model import AnalysisParams, AnalyticalModel
+from repro.analysis.sweep import sweep_bandwidth, sweep_blocks, sweep_code
+
+__all__ = [
+    "AnalysisParams",
+    "AnalyticalModel",
+    "sweep_bandwidth",
+    "sweep_blocks",
+    "sweep_code",
+]

@@ -1,0 +1,173 @@
+"""Command-line interface: ``repro <command>``.
+
+Commands
+--------
+``repro list``
+    List the reproducible experiments (paper figure/table numbers).
+``repro run <experiment> [...]``
+    Run one or more experiments and print their reports.
+``repro simulate [options]``
+    Run a single simulation trial with explicit parameters and print its
+    summary -- handy for quick what-if exploration.
+
+Environment knobs: ``REPRO_SEEDS`` (samples per configuration, default 30),
+``REPRO_WORKERS`` (process-pool width), ``REPRO_TESTBED_RUNS`` (testbed
+repetitions, default 3).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cluster.failures import FailurePattern
+from repro.cluster.network import MB, mbps
+from repro.ec.codec import CodeParams
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Degraded-first scheduling for MapReduce in erasure-coded storage "
+            "clusters (DSN'14) -- reproduction toolkit"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list available experiments")
+
+    run = commands.add_parser("run", help="run experiments by name")
+    run.add_argument("experiments", nargs="+", help="e.g. fig3 fig5 fig7 fig8 fig9 table1")
+
+    simulate = commands.add_parser("simulate", help="run one simulation trial")
+    simulate.add_argument(
+        "--config",
+        dest="config_path",
+        metavar="FILE",
+        help="load the simulation configuration from a JSON file "
+        "(other flags are ignored except --timeline/--json)",
+    )
+    simulate.add_argument("--scheduler", default="EDF", choices=["LF", "BDF", "EDF"])
+    simulate.add_argument("--nodes", type=int, default=40)
+    simulate.add_argument("--racks", type=int, default=4)
+    simulate.add_argument("--map-slots", type=int, default=4)
+    simulate.add_argument("--code", default="20,15", help="n,k (e.g. 20,15)")
+    simulate.add_argument("--blocks", type=int, default=1440)
+    simulate.add_argument("--block-size-mb", type=float, default=128.0)
+    simulate.add_argument("--bandwidth-mbps", type=float, default=1000.0)
+    simulate.add_argument(
+        "--failure",
+        default="single-node",
+        choices=[pattern.value for pattern in FailurePattern],
+    )
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--failure-time",
+        type=float,
+        default=None,
+        help="inject the failure at this simulation time instead of at start",
+    )
+    simulate.add_argument(
+        "--timeline",
+        action="store_true",
+        help="render an ASCII map-slot activity chart (the paper's Figure 3 view)",
+    )
+    simulate.add_argument(
+        "--json",
+        dest="json_path",
+        metavar="FILE",
+        help="also write the full task trace as JSON",
+    )
+
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.experiments.registry import list_experiments
+
+    for name in list_experiments():
+        print(name)
+    return 0
+
+
+def _cmd_run(names: list[str]) -> int:
+    from repro.experiments.registry import get_experiment
+
+    for name in names:
+        runner = get_experiment(name)
+        print(runner())
+        print()
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.mapreduce.config import JobConfig, SimulationConfig
+    from repro.mapreduce.simulation import run_simulation
+
+    if args.config_path:
+        from repro.mapreduce.serialization import load_config
+
+        config = load_config(args.config_path)
+        return _report_simulation(args, config)
+    try:
+        n_text, k_text = args.code.split(",")
+        code = CodeParams(int(n_text), int(k_text))
+    except ValueError as error:
+        print(f"bad --code value {args.code!r}: {error}", file=sys.stderr)
+        return 2
+    config = SimulationConfig(
+        num_nodes=args.nodes,
+        num_racks=args.racks,
+        map_slots=args.map_slots,
+        code=code,
+        block_size=args.block_size_mb * MB,
+        rack_bandwidth=mbps(args.bandwidth_mbps),
+        jobs=(JobConfig(num_blocks=args.blocks),),
+        failure=FailurePattern(args.failure),
+        failure_time=args.failure_time,
+        scheduler=args.scheduler,
+        seed=args.seed,
+    )
+    return _report_simulation(args, config)
+
+
+def _report_simulation(args: argparse.Namespace, config) -> int:
+    from repro.mapreduce.simulation import run_simulation
+
+    result = run_simulation(config)
+    job = result.job(0)
+    print(f"scheduler: {config.scheduler}")
+    print(f"failed nodes: {sorted(result.failed_nodes)}")
+    print(f"runtime: {job.runtime:.1f} s")
+    print(f"degraded tasks: {job.degraded_task_count}")
+    print(f"mean degraded read time: {job.mean_degraded_read_time():.1f} s")
+    print(f"remote tasks (cross-rack): {job.remote_task_count}")
+    if args.timeline:
+        from repro.mapreduce.trace import render_timeline
+
+        print()
+        print(render_timeline(result))
+    if args.json_path:
+        from repro.mapreduce.trace import to_json
+
+        with open(args.json_path, "w") as handle:
+            handle.write(to_json(result, indent=2))
+        print(f"trace written to {args.json_path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiments)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

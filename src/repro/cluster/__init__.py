@@ -1,0 +1,30 @@
+"""Cluster topology substrate.
+
+Models the two-level switch hierarchy of Figure 1 in the paper: nodes grouped
+into racks, racks joined by a core switch.
+
+* :mod:`repro.cluster.topology` -- :class:`~repro.cluster.topology.Node`,
+  :class:`~repro.cluster.topology.Rack` and
+  :class:`~repro.cluster.topology.ClusterTopology` with convenience builders.
+* :mod:`repro.cluster.network` -- transfer-time primitives and bandwidth
+  bookkeeping.
+* :mod:`repro.cluster.nodetree` -- the paper's *NodeTree*: the structure that
+  serialises transfers over shared rack links.
+* :mod:`repro.cluster.failures` -- failure injection (single node, multiple
+  nodes, whole rack).
+"""
+
+from repro.cluster.failures import FailurePattern, FailureInjector
+from repro.cluster.network import NetworkSpec
+from repro.cluster.nodetree import NodeTree
+from repro.cluster.topology import ClusterTopology, Node, Rack
+
+__all__ = [
+    "ClusterTopology",
+    "FailureInjector",
+    "FailurePattern",
+    "NetworkSpec",
+    "Node",
+    "NodeTree",
+    "Rack",
+]

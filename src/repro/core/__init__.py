@@ -1,0 +1,29 @@
+"""The paper's contribution: MapReduce task schedulers for failure mode.
+
+* :mod:`repro.core.tasks` -- per-job bookkeeping of unassigned map tasks,
+  split into normal (local/remote) and degraded pools, with the launch
+  counters ``m``, ``M``, ``m_d``, ``M_d`` used by the pacing rule.
+* :mod:`repro.core.scheduler` -- the heartbeat-driven scheduler interface
+  and shared reduce-slot assignment.
+* :mod:`repro.core.locality_first` -- Algorithm 1 (Hadoop default, LF).
+* :mod:`repro.core.degraded_first` -- Algorithm 2 (basic degraded-first, BDF).
+* :mod:`repro.core.enhanced` -- Algorithm 3 (enhanced degraded-first, EDF)
+  with locality preservation (``ASSIGNTOSLAVE``) and rack awareness
+  (``ASSIGNTORACK``).
+"""
+
+from repro.core.degraded_first import BasicDegradedFirstScheduler
+from repro.core.enhanced import EnhancedDegradedFirstScheduler
+from repro.core.locality_first import LocalityFirstScheduler
+from repro.core.scheduler import Scheduler, SchedulerContext, make_scheduler
+from repro.core.tasks import JobTaskState
+
+__all__ = [
+    "BasicDegradedFirstScheduler",
+    "EnhancedDegradedFirstScheduler",
+    "JobTaskState",
+    "LocalityFirstScheduler",
+    "Scheduler",
+    "SchedulerContext",
+    "make_scheduler",
+]

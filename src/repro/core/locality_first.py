@@ -1,0 +1,44 @@
+"""Algorithm 1: Hadoop's default locality-first scheduling on HDFS-RAID.
+
+For every free map slot of the heartbeating slave, iterate jobs in FIFO
+order and assign the first of: an unassigned local task, an unassigned
+remote task, an unassigned degraded task.  Degraded tasks therefore launch
+only after all of a job's normal tasks are assigned -- the behaviour the
+paper shows causes end-of-phase network competition.
+"""
+
+from __future__ import annotations
+
+from repro.core.scheduler import Scheduler
+from repro.core.tasks import JobTaskState
+from repro.mapreduce.job import MapAssignment
+
+
+class LocalityFirstScheduler(Scheduler):
+    """The paper's LF baseline (Hadoop 0.22 default)."""
+
+    name = "LF"
+
+    def assign_maps(
+        self,
+        slave_id: int,
+        free_map_slots: int,
+        jobs: list[JobTaskState],
+        now: float,
+    ) -> list[MapAssignment]:
+        del now  # LF is oblivious to time
+        assignments: list[MapAssignment] = []
+        for job in jobs:
+            while free_map_slots > 0:
+                assignment = (
+                    self._try_local(job, slave_id)
+                    or self._try_remote(job, slave_id)
+                    or self._try_degraded(job, slave_id)
+                )
+                if assignment is None:
+                    break
+                assignments.append(assignment)
+                free_map_slots -= 1
+            if free_map_slots == 0:
+                break
+        return assignments

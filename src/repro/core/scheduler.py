@@ -1,0 +1,183 @@
+"""The heartbeat-driven scheduler interface.
+
+Every scheduling decision in the paper happens inside the master's response
+to a slave heartbeat: the slave reports how many map and reduce slots it has
+free, and the scheduler hands back assignments.  The three algorithms differ
+only in how they fill *map* slots; reduce slots are filled identically
+(FIFO over jobs, subject to the slow-start rule), so that logic lives in the
+base class.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.tasks import JobTaskState
+from repro.mapreduce.job import (
+    MapAssignment,
+    MapTaskCategory,
+    ReduceAssignment,
+)
+from repro.storage.block import BlockId
+
+
+@dataclass
+class SchedulerContext:
+    """Cluster-level facts schedulers need beyond per-job state.
+
+    Parameters
+    ----------
+    topology:
+        The cluster layout.
+    live_nodes:
+        Node ids that are up (failed nodes never heartbeat).
+    expected_degraded_read_time:
+        The analysis estimate ``(R-1) k S / (R W)`` used as the
+        rack-awareness threshold in EDF.
+    map_time_mean:
+        Mean map processing time, used to estimate local backlogs.
+    reduce_slowstart:
+        Fraction of maps that must complete before reducers launch.
+    """
+
+    topology: ClusterTopology
+    live_nodes: frozenset[int]
+    expected_degraded_read_time: float
+    map_time_mean: float
+    reduce_slowstart: float
+
+
+class Scheduler(ABC):
+    """Base class: reduce-slot filling plus the map-assignment hook."""
+
+    #: Registry name, overridden by subclasses.
+    name = "abstract"
+
+    def __init__(self, context: SchedulerContext) -> None:
+        self.context = context
+
+    def assign(
+        self,
+        slave_id: int,
+        free_map_slots: int,
+        free_reduce_slots: int,
+        jobs: list[JobTaskState],
+        now: float,
+    ) -> tuple[list[MapAssignment], list[ReduceAssignment]]:
+        """Respond to one heartbeat with map and reduce assignments."""
+        maps = self.assign_maps(slave_id, free_map_slots, jobs, now)
+        reduces = self._assign_reduces(slave_id, free_reduce_slots, jobs)
+        return maps, reduces
+
+    @abstractmethod
+    def assign_maps(
+        self,
+        slave_id: int,
+        free_map_slots: int,
+        jobs: list[JobTaskState],
+        now: float,
+    ) -> list[MapAssignment]:
+        """Fill up to ``free_map_slots`` map slots of ``slave_id``."""
+
+    def _assign_reduces(
+        self, slave_id: int, free_reduce_slots: int, jobs: list[JobTaskState]
+    ) -> list[ReduceAssignment]:
+        assignments: list[ReduceAssignment] = []
+        for job in jobs:
+            while free_reduce_slots > 0 and job.reduce_ready(self.context.reduce_slowstart):
+                index = job.pop_reduce()
+                if index is None:
+                    break
+                assignments.append(
+                    ReduceAssignment(job_id=job.job_id, reduce_index=index, slave_id=slave_id)
+                )
+                free_reduce_slots -= 1
+            if free_reduce_slots == 0:
+                break
+        return assignments
+
+    # -- shared helpers for subclasses ----------------------------------------
+
+    def _make_map_assignment(
+        self, job: JobTaskState, slave_id: int, block: BlockId, category: MapTaskCategory
+    ) -> MapAssignment:
+        return MapAssignment(
+            job_id=job.job_id, block=block, category=category, slave_id=slave_id
+        )
+
+    def _try_local(self, job: JobTaskState, slave_id: int) -> MapAssignment | None:
+        """Pop a local (node- or rack-local) task of ``job`` for ``slave_id``."""
+        picked = job.pop_local(slave_id)
+        if picked is None:
+            return None
+        block, node_local = picked
+        category = MapTaskCategory.NODE_LOCAL if node_local else MapTaskCategory.RACK_LOCAL
+        return self._make_map_assignment(job, slave_id, block, category)
+
+    def _try_remote(self, job: JobTaskState, slave_id: int) -> MapAssignment | None:
+        """Pop a remote task of ``job`` for ``slave_id``."""
+        block = job.pop_remote(slave_id)
+        if block is None:
+            return None
+        return self._make_map_assignment(job, slave_id, block, MapTaskCategory.REMOTE)
+
+    def _try_degraded(self, job: JobTaskState, slave_id: int) -> MapAssignment | None:
+        """Pop a degraded task of ``job``."""
+        block = job.pop_degraded()
+        if block is None:
+            return None
+        return self._make_map_assignment(job, slave_id, block, MapTaskCategory.DEGRADED)
+
+
+#: Populated by _ensure_builtins on first use to avoid import cycles.
+_REGISTRY: dict[str, type[Scheduler]] = {}
+
+
+def _ensure_builtins() -> None:
+    if "LF" in _REGISTRY:
+        return
+    from repro.core.degraded_first import BasicDegradedFirstScheduler
+    from repro.core.enhanced import EnhancedDegradedFirstScheduler
+    from repro.core.extras import ABLATION_SCHEDULERS
+    from repro.core.locality_first import LocalityFirstScheduler
+
+    for scheduler_cls in (
+        LocalityFirstScheduler,
+        BasicDegradedFirstScheduler,
+        EnhancedDegradedFirstScheduler,
+        *ABLATION_SCHEDULERS,
+    ):
+        _REGISTRY.setdefault(scheduler_cls.name, scheduler_cls)
+
+
+def register_scheduler(scheduler_cls: type[Scheduler]) -> None:
+    """Add a custom scheduler class to the registry under its ``name``.
+
+    Once registered, the name is accepted anywhere a scheduler name is
+    (``SimulationConfig.scheduler``, the testbed, the CLI).
+    """
+    _ensure_builtins()
+    if not scheduler_cls.name or scheduler_cls.name == Scheduler.name:
+        raise ValueError("custom schedulers must set a distinct `name` attribute")
+    existing = _REGISTRY.get(scheduler_cls.name)
+    if existing is not None and existing is not scheduler_cls:
+        raise ValueError(f"scheduler name {scheduler_cls.name!r} is already taken")
+    _REGISTRY[scheduler_cls.name] = scheduler_cls
+
+
+def registered_schedulers() -> list[str]:
+    """Names currently accepted by :func:`make_scheduler`."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def make_scheduler(name: str, context: SchedulerContext) -> Scheduler:
+    """Instantiate a scheduler by registry name (``LF``, ``BDF``, ``EDF``)."""
+    _ensure_builtins()
+    try:
+        scheduler_cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown scheduler {name!r}; choose from {sorted(_REGISTRY)}")
+    return scheduler_cls(context)

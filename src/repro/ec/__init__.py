@@ -1,0 +1,29 @@
+"""Erasure-coding substrate.
+
+This package implements, from scratch, everything the paper's storage layer
+(HDFS-RAID) needs from an erasure code:
+
+* :mod:`repro.ec.galois` -- arithmetic over GF(2^8) with log/antilog tables.
+* :mod:`repro.ec.matrix` -- dense matrices over GF(2^8), including inversion,
+  Vandermonde, and Cauchy constructions.
+* :mod:`repro.ec.reed_solomon` -- a systematic Reed-Solomon ``(n, k)`` coder
+  able to decode the original data from *any* ``k`` of the ``n`` blocks.
+* :mod:`repro.ec.codec` -- the :class:`~repro.ec.codec.ErasureCodec` facade
+  used by the storage layer, parameterised by
+  :class:`~repro.ec.codec.CodeParams`.
+* :mod:`repro.ec.stripe` -- stripe layout helpers and the ``B_{i,j}`` /
+  ``P_{i,j}`` block-naming scheme used throughout the paper's examples.
+"""
+
+from repro.ec.codec import CodeParams, ErasureCodec
+from repro.ec.reed_solomon import ReedSolomon
+from repro.ec.stripe import BlockKind, StripeLayout, block_name
+
+__all__ = [
+    "BlockKind",
+    "CodeParams",
+    "ErasureCodec",
+    "ReedSolomon",
+    "StripeLayout",
+    "block_name",
+]

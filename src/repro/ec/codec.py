@@ -1,0 +1,160 @@
+"""High-level erasure-codec facade used by the storage layer.
+
+:class:`CodeParams` is the ``(n, k)`` pair that appears everywhere in the
+paper; :class:`ErasureCodec` bundles those parameters with a concrete
+Reed-Solomon coder and the stripe layout, and exposes whole-file encode /
+degraded-read operations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.ec.reed_solomon import ReedSolomon
+from repro.ec.stripe import StripeLayout
+
+
+@dataclass(frozen=True)
+class CodeParams:
+    """An ``(n, k)`` erasure-code parameterisation.
+
+    ``k`` native blocks are encoded into ``n - k`` parity blocks; any ``k``
+    of the ``n`` blocks recover the natives.  The paper's rack-failure
+    tolerance requirement additionally demands ``n - k >= 2``; that rule is
+    enforced by the placement policy, not here, so that unit tests can build
+    degenerate codes.
+    """
+
+    n: int
+    k: int
+
+    def __post_init__(self) -> None:
+        if not 0 < self.k <= self.n:
+            raise ValueError(f"require 0 < k <= n, got n={self.n} k={self.k}")
+        if self.n > 256:
+            raise ValueError(f"n={self.n} exceeds GF(2^8) field size")
+
+    @property
+    def parity(self) -> int:
+        """Parity blocks per stripe."""
+        return self.n - self.k
+
+    @property
+    def storage_overhead(self) -> float:
+        """Redundancy overhead as a fraction, e.g. 1/3 for (4, 3)."""
+        return self.parity / self.k
+
+    def __str__(self) -> str:
+        return f"({self.n},{self.k})"
+
+
+#: Supported coding constructions.
+ALGORITHMS = ("vandermonde", "cauchy")
+
+
+class ErasureCodec:
+    """Encodes files into stripes and serves degraded reads.
+
+    Parameters
+    ----------
+    params:
+        The ``(n, k)`` code parameters.
+    algorithm:
+        ``"vandermonde"`` (the default systematic Reed-Solomon) or
+        ``"cauchy"`` (Cauchy Reed-Solomon, the paper's reference [3]).
+        Both are MDS; the choice changes parity bytes, never guarantees.
+    """
+
+    def __init__(self, params: CodeParams, algorithm: str = "vandermonde") -> None:
+        if algorithm not in ALGORITHMS:
+            raise ValueError(f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}")
+        self.params = params
+        self.algorithm = algorithm
+        self.layout = StripeLayout(n=params.n, k=params.k)
+        if algorithm == "cauchy":
+            from repro.ec.cauchy import CauchyReedSolomon
+
+            self._coder: ReedSolomon = CauchyReedSolomon(params.n, params.k)
+        else:
+            self._coder = ReedSolomon(params.n, params.k)
+
+    def encode_stripe(self, native_blocks: Sequence[bytes]) -> list[bytes]:
+        """Encode one stripe: returns the full ``n``-block stripe.
+
+        Blocks may have unequal lengths (line-aligned splitting produces
+        them); they are zero-padded to the longest block *transiently* for
+        parity computation, and a short final stripe is padded to ``k``
+        blocks with empty ones, as HDFS-RAID pads trailing groups.  The
+        returned native blocks keep their exact original content; parity
+        blocks carry the padded length.
+        """
+        if not 0 < len(native_blocks) <= self.params.k:
+            raise ValueError(
+                f"stripe needs 1..{self.params.k} native blocks, got {len(native_blocks)}"
+            )
+        length = max(len(block) for block in native_blocks)
+        padded = [block.ljust(length, b"\0") for block in native_blocks]
+        while len(padded) < self.params.k:
+            padded.append(b"\0" * length)
+        parity = self._coder.encode(padded)
+        placeholders = [b""] * (self.params.k - len(native_blocks))
+        return list(native_blocks) + placeholders + parity
+
+    def encode_file(self, data: bytes, block_size: int) -> list[list[bytes]]:
+        """Split ``data`` into blocks and encode stripe by stripe.
+
+        Returns one full stripe (``n`` blocks) per group of ``k`` natives.
+        """
+        if block_size <= 0:
+            raise ValueError(f"block size must be positive, got {block_size}")
+        blocks = [data[offset : offset + block_size] for offset in range(0, len(data), block_size)]
+        if not blocks:
+            blocks = [b""]
+        stripes: list[list[bytes]] = []
+        for start in range(0, len(blocks), self.params.k):
+            stripes.append(self.encode_stripe(blocks[start : start + self.params.k]))
+        return stripes
+
+    def degraded_read(
+        self,
+        lost_position: int,
+        available: Mapping[int, bytes],
+        lost_length: int | None = None,
+    ) -> bytes:
+        """Reconstruct the block at ``lost_position`` from ``k`` survivors.
+
+        This is the operation a *degraded task* performs after downloading
+        ``k`` surviving blocks of the stripe.  Survivors of unequal length
+        (unpadded natives) are re-padded to the coding length first;
+        ``lost_length`` truncates the reconstruction back to the lost
+        block's true size.
+        """
+        padded = self._pad_to_coding_length(available)
+        rebuilt = self._coder.reconstruct_block(lost_position, padded)
+        if lost_length is not None:
+            if lost_length > len(rebuilt):
+                raise ValueError(
+                    f"lost block length {lost_length} exceeds coding length {len(rebuilt)}"
+                )
+            rebuilt = rebuilt[:lost_length]
+        return rebuilt
+
+    def decode_natives(self, available: Mapping[int, bytes]) -> list[bytes]:
+        """Recover all ``k`` native blocks of a stripe from any ``k`` blocks.
+
+        Natives are returned at the coding length (zero-padded); callers
+        tracking true block lengths should truncate.
+        """
+        return self._coder.decode(self._pad_to_coding_length(available))
+
+    @staticmethod
+    def _pad_to_coding_length(available: Mapping[int, bytes]) -> dict[int, bytes]:
+        """Zero-pad survivors to their common (parity) length."""
+        if not available:
+            return {}
+        length = max(len(block) for block in available.values())
+        return {
+            position: block.ljust(length, b"\0")
+            for position, block in available.items()
+        }

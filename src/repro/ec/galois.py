@@ -1,0 +1,130 @@
+"""Arithmetic over the finite field GF(2^8).
+
+The field is realised as polynomials over GF(2) modulo the primitive
+polynomial ``x^8 + x^4 + x^3 + x^2 + 1`` (0x11D), the same polynomial used by
+most storage erasure-code implementations (e.g. Jerasure, ISA-L).  Field
+elements are the integers ``0..255``.
+
+Multiplication and division go through precomputed log/antilog tables, which
+makes single-element operations O(1) and lets the vectorised helpers
+(:func:`mul_bytes`, :func:`addmul_bytes`) run over numpy arrays for
+block-sized payloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Primitive polynomial for GF(2^8): x^8 + x^4 + x^3 + x^2 + 1.
+PRIMITIVE_POLYNOMIAL = 0x11D
+
+#: The multiplicative order of the field, i.e. ``2**8 - 1``.
+FIELD_ORDER = 255
+
+#: Number of elements in the field.
+FIELD_SIZE = 256
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    """Build the antilog (exponent) and log tables for GF(2^8).
+
+    Returns a pair ``(exp, log)`` where ``exp[i] == g**i`` for the generator
+    ``g = 2`` and ``log[exp[i]] == i``.  The ``exp`` table is doubled in
+    length so that ``exp[log[a] + log[b]]`` never needs an explicit modulo.
+    """
+    exp = np.zeros(2 * FIELD_ORDER, dtype=np.uint8)
+    log = np.zeros(FIELD_SIZE, dtype=np.int32)
+    value = 1
+    for power in range(FIELD_ORDER):
+        exp[power] = value
+        log[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= PRIMITIVE_POLYNOMIAL
+    exp[FIELD_ORDER:] = exp[:FIELD_ORDER]
+    return exp, log
+
+
+_EXP, _LOG = _build_tables()
+
+#: Full 256x256 multiplication table, used by the vectorised helpers.
+_MUL_TABLE = np.zeros((FIELD_SIZE, FIELD_SIZE), dtype=np.uint8)
+for _a in range(1, FIELD_SIZE):
+    for _b in range(1, FIELD_SIZE):
+        _MUL_TABLE[_a, _b] = _EXP[_LOG[_a] + _LOG[_b]]
+del _a, _b
+
+
+def gf_add(a: int, b: int) -> int:
+    """Return ``a + b`` in GF(2^8); addition is XOR."""
+    return a ^ b
+
+
+def gf_sub(a: int, b: int) -> int:
+    """Return ``a - b`` in GF(2^8); identical to addition."""
+    return a ^ b
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Return the product of two field elements."""
+    if a == 0 or b == 0:
+        return 0
+    return int(_EXP[_LOG[a] + _LOG[b]])
+
+
+def gf_div(a: int, b: int) -> int:
+    """Return ``a / b`` in GF(2^8).
+
+    Raises :class:`ZeroDivisionError` when ``b`` is zero.
+    """
+    if b == 0:
+        raise ZeroDivisionError("division by zero in GF(2^8)")
+    if a == 0:
+        return 0
+    return int(_EXP[(_LOG[a] - _LOG[b]) % FIELD_ORDER])
+
+
+def gf_inv(a: int) -> int:
+    """Return the multiplicative inverse of ``a``.
+
+    Raises :class:`ZeroDivisionError` for ``a == 0``, which has no inverse.
+    """
+    if a == 0:
+        raise ZeroDivisionError("0 has no multiplicative inverse in GF(2^8)")
+    return int(_EXP[FIELD_ORDER - _LOG[a]])
+
+
+def gf_pow(a: int, exponent: int) -> int:
+    """Return ``a`` raised to an arbitrary integer power."""
+    if a == 0:
+        if exponent == 0:
+            return 1
+        if exponent < 0:
+            raise ZeroDivisionError("0 cannot be raised to a negative power")
+        return 0
+    reduced = (_LOG[a] * exponent) % FIELD_ORDER
+    return int(_EXP[reduced])
+
+
+def mul_bytes(coefficient: int, data: np.ndarray) -> np.ndarray:
+    """Multiply every byte of ``data`` by ``coefficient``; returns a new array."""
+    if coefficient == 0:
+        return np.zeros_like(data)
+    if coefficient == 1:
+        return data.copy()
+    return _MUL_TABLE[coefficient][data]
+
+
+def addmul_bytes(accumulator: np.ndarray, coefficient: int, data: np.ndarray) -> None:
+    """In-place ``accumulator ^= coefficient * data`` over byte arrays.
+
+    This is the inner loop of Reed-Solomon encoding and decoding; keeping it
+    as a single fused numpy expression is what makes block-sized coding
+    practical in pure Python.
+    """
+    if coefficient == 0:
+        return
+    if coefficient == 1:
+        np.bitwise_xor(accumulator, data, out=accumulator)
+        return
+    np.bitwise_xor(accumulator, _MUL_TABLE[coefficient][data], out=accumulator)

@@ -1,0 +1,138 @@
+"""Dense matrices over GF(2^8).
+
+Matrices are represented as 2-D numpy ``uint8`` arrays.  Only the operations
+that Reed-Solomon coding needs are provided: multiplication, identity,
+Gauss-Jordan inversion, sub-matrix selection, and the Vandermonde / Cauchy
+generator constructions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ec import galois
+
+
+class SingularMatrixError(ValueError):
+    """Raised when a matrix that must be invertible turns out singular."""
+
+
+def identity(size: int) -> np.ndarray:
+    """Return the ``size`` x ``size`` identity matrix over GF(2^8)."""
+    return np.eye(size, dtype=np.uint8)
+
+
+def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Multiply two matrices over GF(2^8)."""
+    rows_a, cols_a = a.shape
+    rows_b, cols_b = b.shape
+    if cols_a != rows_b:
+        raise ValueError(f"shape mismatch: {a.shape} x {b.shape}")
+    result = np.zeros((rows_a, cols_b), dtype=np.uint8)
+    for i in range(rows_a):
+        row = result[i]
+        for j in range(cols_a):
+            galois.addmul_bytes(row, int(a[i, j]), b[j])
+    return result
+
+
+def matvec_blocks(matrix: np.ndarray, blocks: list[np.ndarray]) -> list[np.ndarray]:
+    """Apply ``matrix`` to a column vector of byte blocks.
+
+    ``blocks`` holds one byte array per matrix column; the result holds one
+    byte array per matrix row.  This is the generic encode/decode primitive:
+    each output block is a GF-linear combination of the input blocks.
+    """
+    rows, cols = matrix.shape
+    if cols != len(blocks):
+        raise ValueError(f"matrix has {cols} columns but got {len(blocks)} blocks")
+    if not blocks:
+        return []
+    length = len(blocks[0])
+    for block in blocks:
+        if len(block) != length:
+            raise ValueError("all blocks must have equal length")
+    outputs: list[np.ndarray] = []
+    for i in range(rows):
+        accumulator = np.zeros(length, dtype=np.uint8)
+        for j in range(cols):
+            galois.addmul_bytes(accumulator, int(matrix[i, j]), blocks[j])
+        outputs.append(accumulator)
+    return outputs
+
+
+def invert(matrix: np.ndarray) -> np.ndarray:
+    """Invert a square matrix over GF(2^8) by Gauss-Jordan elimination.
+
+    Raises :class:`SingularMatrixError` if the matrix has no inverse.
+    """
+    size, cols = matrix.shape
+    if size != cols:
+        raise ValueError(f"cannot invert non-square matrix of shape {matrix.shape}")
+    work = matrix.astype(np.int32).copy()
+    inverse = np.eye(size, dtype=np.int32)
+    for col in range(size):
+        pivot_row = -1
+        for row in range(col, size):
+            if work[row, col] != 0:
+                pivot_row = row
+                break
+        if pivot_row < 0:
+            raise SingularMatrixError(f"matrix is singular at column {col}")
+        if pivot_row != col:
+            work[[col, pivot_row]] = work[[pivot_row, col]]
+            inverse[[col, pivot_row]] = inverse[[pivot_row, col]]
+        pivot_inv = galois.gf_inv(int(work[col, col]))
+        for j in range(size):
+            work[col, j] = galois.gf_mul(int(work[col, j]), pivot_inv)
+            inverse[col, j] = galois.gf_mul(int(inverse[col, j]), pivot_inv)
+        for row in range(size):
+            if row == col or work[row, col] == 0:
+                continue
+            factor = int(work[row, col])
+            for j in range(size):
+                work[row, j] ^= galois.gf_mul(factor, int(work[col, j]))
+                inverse[row, j] ^= galois.gf_mul(factor, int(inverse[col, j]))
+    return inverse.astype(np.uint8)
+
+
+def vandermonde(rows: int, cols: int) -> np.ndarray:
+    """Return the ``rows`` x ``cols`` Vandermonde matrix ``V[i, j] = i**j``."""
+    matrix = np.zeros((rows, cols), dtype=np.uint8)
+    for i in range(rows):
+        for j in range(cols):
+            matrix[i, j] = galois.gf_pow(i, j)
+    return matrix
+
+
+def cauchy(x_values: list[int], y_values: list[int]) -> np.ndarray:
+    """Return the Cauchy matrix ``C[i, j] = 1 / (x_i + y_j)`` over GF(2^8).
+
+    The element sets must be disjoint so that no denominator is zero.
+    """
+    overlap = set(x_values) & set(y_values)
+    if overlap:
+        raise ValueError(f"x and y values must be disjoint; both contain {overlap}")
+    matrix = np.zeros((len(x_values), len(y_values)), dtype=np.uint8)
+    for i, x in enumerate(x_values):
+        for j, y in enumerate(y_values):
+            matrix[i, j] = galois.gf_inv(x ^ y)
+    return matrix
+
+
+def systematic_encoding_matrix(n: int, k: int) -> np.ndarray:
+    """Build the ``n`` x ``k`` systematic generator matrix for RS(n, k).
+
+    The construction starts from an ``n`` x ``k`` Vandermonde matrix and
+    column-reduces it so the top ``k`` x ``k`` sub-matrix is the identity.
+    Any ``k`` rows of the result remain linearly independent (the defining
+    MDS property), which is what guarantees decode-from-any-k.
+    """
+    if not 0 < k <= n:
+        raise ValueError(f"require 0 < k <= n, got n={n} k={k}")
+    if n > galois.FIELD_SIZE:
+        raise ValueError(f"n={n} exceeds field size {galois.FIELD_SIZE}")
+    base = vandermonde(n, k)
+    top = base[:k, :k]
+    top_inverse = invert(top)
+    return matmul(base, top_inverse)

@@ -1,0 +1,119 @@
+"""Systematic Reed-Solomon coding over GF(2^8).
+
+An ``RS(n, k)`` code turns ``k`` *native* blocks into ``n - k`` *parity*
+blocks such that any ``k`` of the ``n`` stripe blocks suffice to rebuild the
+originals.  This is exactly the contract HDFS-RAID relies on for degraded
+reads, and the contract the paper's scheduling analysis assumes.
+
+The implementation is matrix-based: a systematic ``n x k`` generator matrix
+(top ``k`` rows = identity) encodes, and decoding inverts the ``k x k``
+sub-matrix formed by the rows of whichever ``k`` blocks survived.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.ec import matrix as gfm
+
+
+def _as_byte_array(block: bytes | bytearray | np.ndarray) -> np.ndarray:
+    """Coerce a block payload to a 1-D uint8 numpy array without copying numpy input."""
+    if isinstance(block, np.ndarray):
+        if block.dtype != np.uint8 or block.ndim != 1:
+            raise ValueError("numpy blocks must be 1-D uint8 arrays")
+        return block
+    return np.frombuffer(bytes(block), dtype=np.uint8)
+
+
+class ReedSolomon:
+    """A systematic RS(n, k) encoder/decoder.
+
+    Parameters
+    ----------
+    n:
+        Total number of blocks per stripe (native + parity).
+    k:
+        Number of native blocks per stripe.
+    """
+
+    def __init__(self, n: int, k: int) -> None:
+        if not 0 < k <= n:
+            raise ValueError(f"require 0 < k <= n, got n={n} k={k}")
+        self.n = n
+        self.k = k
+        self._generator = gfm.systematic_encoding_matrix(n, k)
+
+    @property
+    def parity_count(self) -> int:
+        """Number of parity blocks per stripe (``n - k``)."""
+        return self.n - self.k
+
+    @property
+    def generator_matrix(self) -> np.ndarray:
+        """A copy of the ``n x k`` systematic generator matrix."""
+        return self._generator.copy()
+
+    def encode(self, native_blocks: Sequence[bytes | np.ndarray]) -> list[bytes]:
+        """Encode ``k`` equal-length native blocks into ``n - k`` parity blocks.
+
+        Returns the parity blocks only; a full stripe is
+        ``list(native_blocks) + parity``.
+        """
+        if len(native_blocks) != self.k:
+            raise ValueError(f"expected {self.k} native blocks, got {len(native_blocks)}")
+        arrays = [_as_byte_array(block) for block in native_blocks]
+        lengths = {len(array) for array in arrays}
+        if len(lengths) > 1:
+            raise ValueError(f"native blocks have unequal lengths: {sorted(lengths)}")
+        parity_rows = self._generator[self.k:]
+        parity_arrays = gfm.matvec_blocks(parity_rows, arrays)
+        return [array.tobytes() for array in parity_arrays]
+
+    def decode(self, available: Mapping[int, bytes | np.ndarray]) -> list[bytes]:
+        """Reconstruct all ``k`` native blocks from any ``k`` stripe blocks.
+
+        Parameters
+        ----------
+        available:
+            Maps stripe index (``0 .. n-1``; indices below ``k`` are native,
+            the rest parity) to the surviving block payload.  At least ``k``
+            entries are required; exactly the first ``k`` sorted by index are
+            used, matching the paper's "read from any k surviving nodes".
+        """
+        if len(available) < self.k:
+            raise ValueError(
+                f"need at least k={self.k} blocks to decode, got {len(available)}"
+            )
+        indices = sorted(available)[: self.k]
+        for index in indices:
+            if not 0 <= index < self.n:
+                raise ValueError(f"stripe index {index} out of range [0, {self.n})")
+        arrays = [_as_byte_array(available[index]) for index in indices]
+        lengths = {len(array) for array in arrays}
+        if len(lengths) > 1:
+            raise ValueError(f"blocks have unequal lengths: {sorted(lengths)}")
+        sub_matrix = self._generator[indices, :]
+        decode_matrix = gfm.invert(sub_matrix)
+        native_arrays = gfm.matvec_blocks(decode_matrix, arrays)
+        return [array.tobytes() for array in native_arrays]
+
+    def reconstruct_block(
+        self, stripe_index: int, available: Mapping[int, bytes | np.ndarray]
+    ) -> bytes:
+        """Rebuild one block (native or parity) of the stripe.
+
+        This is the degraded-read primitive: a degraded task downloads ``k``
+        surviving blocks and reconstructs exactly the lost one.
+        """
+        if not 0 <= stripe_index < self.n:
+            raise ValueError(f"stripe index {stripe_index} out of range [0, {self.n})")
+        if stripe_index in available:
+            return bytes(_as_byte_array(available[stripe_index]).tobytes())
+        natives = self.decode(available)
+        if stripe_index < self.k:
+            return natives[stripe_index]
+        parity = self.encode(natives)
+        return parity[stripe_index - self.k]

@@ -1,0 +1,28 @@
+"""Per-figure/table experiment harnesses.
+
+Every evaluation artifact of the paper has a module here that regenerates
+its rows:
+
+* :mod:`repro.experiments.fig5_analysis` -- Figure 5 (analytical model).
+* :mod:`repro.experiments.fig7_simulation` -- Figure 7 (LF vs EDF sweeps).
+* :mod:`repro.experiments.fig8_bdf_edf` -- Figure 8 (BDF vs EDF).
+* :mod:`repro.experiments.fig9_testbed` -- Figure 9 (functional testbed).
+* :mod:`repro.experiments.table1_breakdown` -- Table I (task breakdown).
+* :mod:`repro.experiments.registry` -- name -> runner mapping for the CLI.
+* :mod:`repro.experiments.common` -- shared trial plumbing.
+"""
+
+from repro.experiments.common import (
+    ExperimentTable,
+    normalized_runtimes,
+    run_failure_and_normal,
+)
+from repro.experiments.registry import get_experiment, list_experiments
+
+__all__ = [
+    "ExperimentTable",
+    "get_experiment",
+    "list_experiments",
+    "normalized_runtimes",
+    "run_failure_and_normal",
+]

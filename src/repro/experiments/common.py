@@ -1,0 +1,143 @@
+"""Shared plumbing for the simulation experiments.
+
+The paper's methodology (Section V-B): for each parameter setting, generate
+30 cluster configurations with different random seeds; in each, measure the
+MapReduce runtime of every scheduler in failure mode and the runtime in
+normal mode; report the *normalized runtime* (failure over normal) as a
+boxplot over the 30 samples.
+
+``run_many`` fans simulation trials out over a process pool, since each
+trial is an independent single-threaded event-loop run.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.cluster.failures import FailurePattern
+from repro.mapreduce.config import SimulationConfig
+from repro.mapreduce.metrics import BoxplotStats, SimulationResult
+from repro.mapreduce.simulation import run_simulation
+
+#: Seeds used when the caller does not override; the paper uses 30 samples.
+DEFAULT_NUM_SEEDS = 30
+
+
+def default_seeds() -> list[int]:
+    """Seed list honouring the ``REPRO_SEEDS`` environment override.
+
+    Set ``REPRO_SEEDS=5`` to run quick 5-sample experiments (useful in CI);
+    unset, the paper's 30 samples are used.
+    """
+    count = int(os.environ.get("REPRO_SEEDS", DEFAULT_NUM_SEEDS))
+    if count <= 0:
+        raise ValueError(f"REPRO_SEEDS must be positive, got {count}")
+    return list(range(count))
+
+
+def max_workers() -> int:
+    """Process-pool width, honouring the ``REPRO_WORKERS`` override.
+
+    Defaults to every core: simulation trials are single-threaded and
+    independent, and experiment batches are trivially parallel.
+    """
+    configured = os.environ.get("REPRO_WORKERS")
+    if configured is not None:
+        return max(1, int(configured))
+    return max(1, os.cpu_count() or 1)
+
+
+def run_many(configs: list[SimulationConfig]) -> list[SimulationResult]:
+    """Run many independent trials, in parallel when it pays off."""
+    if len(configs) <= 2 or max_workers() == 1:
+        return [run_simulation(config) for config in configs]
+    with ProcessPoolExecutor(max_workers=max_workers()) as pool:
+        return list(pool.map(run_simulation, configs, chunksize=1))
+
+
+def run_failure_and_normal(
+    base: SimulationConfig,
+    schedulers: tuple[str, ...],
+    seeds: list[int] | None = None,
+) -> dict[str, list[SimulationResult]]:
+    """Run every scheduler in failure mode plus a normal-mode reference.
+
+    Returns results keyed by scheduler name, with the extra key
+    ``"normal"`` holding the no-failure reference runs (one per seed).  In
+    normal mode there are no degraded tasks, so all three schedulers behave
+    identically and a single reference run per seed suffices.
+    """
+    seeds = default_seeds() if seeds is None else seeds
+    grid: list[SimulationConfig] = []
+    keys: list[tuple[str, int]] = []
+    for seed in seeds:
+        for scheduler in schedulers:
+            grid.append(base.with_scheduler(scheduler).with_seed(seed))
+            keys.append((scheduler, seed))
+        grid.append(
+            base.with_scheduler("LF").with_failure(FailurePattern.NONE).with_seed(seed)
+        )
+        keys.append(("normal", seed))
+    results = run_many(grid)
+    grouped: dict[str, list[SimulationResult]] = {name: [] for name in (*schedulers, "normal")}
+    for (name, _seed), result in zip(keys, results):
+        grouped[name].append(result)
+    return grouped
+
+
+def normalized_runtimes(
+    grouped: dict[str, list[SimulationResult]], job_id: int = 0
+) -> dict[str, list[float]]:
+    """Normalized runtime samples per scheduler (failure over normal)."""
+    normal = grouped["normal"]
+    normalized: dict[str, list[float]] = {}
+    for name, results in grouped.items():
+        if name == "normal":
+            continue
+        normalized[name] = [
+            result.job(job_id).runtime / reference.job(job_id).runtime
+            for result, reference in zip(results, normal)
+        ]
+    return normalized
+
+
+@dataclass
+class ExperimentTable:
+    """A printable experiment outcome: labelled rows of named statistics.
+
+    ``rows`` maps a row label (an x-axis point) to ``{column: stats}``.
+    """
+
+    title: str
+    rows: dict[str, dict[str, BoxplotStats]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, label: str, columns: dict[str, list[float]]) -> None:
+        """Summarise raw samples into a row of boxplot statistics."""
+        self.rows[label] = {
+            name: BoxplotStats.from_samples(samples) for name, samples in columns.items()
+        }
+
+    def format(self) -> str:
+        """Render the table the way the paper's figures read."""
+        lines = [self.title, "=" * len(self.title)]
+        for label, columns in self.rows.items():
+            parts = []
+            for name, stats in columns.items():
+                parts.append(
+                    f"{name}: median={stats.median:.3f} "
+                    f"[q1={stats.lower_quartile:.3f}, q3={stats.upper_quartile:.3f}] "
+                    f"mean={stats.mean:.3f}"
+                )
+            lines.append(f"{label:>24}  " + "  |  ".join(parts))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def reduction(self, label: str, baseline: str, candidate: str) -> float:
+        """Mean fractional reduction of ``candidate`` vs ``baseline`` in a row."""
+        row = self.rows[label]
+        base = row[baseline].mean
+        return (base - row[candidate].mean) / base

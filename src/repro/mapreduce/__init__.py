@@ -1,0 +1,44 @@
+"""MapReduce engine on the discrete-event simulator.
+
+Reproduces the architecture of the paper's CSIM-based simulator (Figure 6):
+a master process (the job tracker), slave processes with map/reduce slots
+that heartbeat every 3 seconds, a NodeTree for all transmissions, and a FIFO
+job queue.
+
+* :mod:`repro.mapreduce.job` -- job and task descriptions.
+* :mod:`repro.mapreduce.config` -- :class:`~repro.mapreduce.config.SimulationConfig`.
+* :mod:`repro.mapreduce.master` -- the job tracker.
+* :mod:`repro.mapreduce.slave` -- task trackers and task execution.
+* :mod:`repro.mapreduce.shuffle` -- shuffle traffic between maps and reduces.
+* :mod:`repro.mapreduce.metrics` -- per-task records and job summaries.
+* :mod:`repro.mapreduce.simulation` -- top-level ``run_simulation`` entry.
+"""
+
+from repro.mapreduce.config import JobConfig, SimulationConfig
+from repro.mapreduce.job import MapTaskCategory, TaskKind
+from repro.mapreduce.metrics import JobMetrics, SimulationResult, TaskRecord
+
+__all__ = [
+    "JobConfig",
+    "JobMetrics",
+    "MapTaskCategory",
+    "SimulationConfig",
+    "SimulationResult",
+    "TaskKind",
+    "TaskRecord",
+    "run_simulation",
+]
+
+
+def __getattr__(name: str):
+    """Lazily expose :func:`run_simulation`.
+
+    The simulation module depends on :mod:`repro.core`, whose schedulers in
+    turn import this package's config and job types; importing it eagerly
+    here would create a cycle.
+    """
+    if name == "run_simulation":
+        from repro.mapreduce.simulation import run_simulation
+
+        return run_simulation
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

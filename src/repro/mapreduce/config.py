@@ -1,0 +1,147 @@
+"""Configuration for one simulation run.
+
+:class:`SimulationConfig` captures every knob the paper varies; its defaults
+are the paper's default simulation configuration (Section V-B): 40 nodes in
+4 racks, 4 map + 1 reduce slot per node, 1 Gbps rack bandwidth, 128 MB
+blocks, a (20, 15) code, 1440 blocks, map times ~ N(20, 1), reduce times
+~ N(30, 2), 30 reduce tasks, 1% shuffle, heartbeats every 3 s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cluster.failures import FailurePattern
+from repro.cluster.network import MB, NetworkSpec, gbps
+from repro.ec.codec import CodeParams
+from repro.storage.degraded import SourceSelection
+
+#: The paper's three schedulers (the full accepted set, including ablation
+#: variants and user registrations, comes from
+#: :func:`repro.core.scheduler.registered_schedulers`).
+SCHEDULERS = ("LF", "BDF", "EDF")
+
+
+@dataclass(frozen=True)
+class JobConfig:
+    """One MapReduce job in a simulation.
+
+    Parameters
+    ----------
+    num_blocks:
+        Native blocks processed by this job (= number of map tasks).
+    map_time_mean, map_time_std:
+        Normal distribution of map processing time, seconds (for a node
+        with ``speed_factor`` 1.0).
+    reduce_time_mean, reduce_time_std:
+        Normal distribution of reduce processing time, seconds.
+    num_reduce_tasks:
+        Reduce task count; 0 makes the job map-only.
+    shuffle_ratio:
+        Intermediate data emitted by each map task, as a fraction of the
+        block size, split evenly across the reduce tasks.
+    submit_time:
+        Simulation time at which the job enters the FIFO queue.
+    """
+
+    num_blocks: int = 1440
+    map_time_mean: float = 20.0
+    map_time_std: float = 1.0
+    reduce_time_mean: float = 30.0
+    reduce_time_std: float = 2.0
+    num_reduce_tasks: int = 30
+    shuffle_ratio: float = 0.01
+    submit_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_blocks <= 0:
+            raise ValueError("job needs at least one block")
+        if self.num_reduce_tasks < 0:
+            raise ValueError("negative reduce task count")
+        if not 0 <= self.shuffle_ratio:
+            raise ValueError("shuffle ratio must be non-negative")
+        if self.submit_time < 0:
+            raise ValueError("negative submit time")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything needed to run one simulation trial."""
+
+    # Cluster
+    num_nodes: int = 40
+    num_racks: int = 4
+    map_slots: int = 4
+    reduce_slots: int = 1
+    speed_factors: tuple[float, ...] | None = None
+
+    # Network
+    rack_bandwidth: float = gbps(1)
+    network_model: str = "fluid"
+
+    # Storage
+    code: CodeParams = field(default_factory=lambda: CodeParams(20, 15))
+    block_size: float = 128 * MB
+    placement: str = "random"
+    source_selection: SourceSelection = SourceSelection.RANDOM
+
+    # Workload
+    jobs: tuple[JobConfig, ...] = field(default_factory=lambda: (JobConfig(),))
+
+    # Failure
+    failure: FailurePattern = FailurePattern.SINGLE_NODE
+    failure_eligible: tuple[int, ...] | None = None
+    failure_time: float | None = None
+
+    # Scheduling
+    scheduler: str = "EDF"
+    heartbeat_interval: float = 3.0
+    heartbeat_stagger: bool = True
+    reduce_slowstart: float = 0.05
+    shuffle_drain_interval: float = 3.0
+
+    # Reproducibility
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Imported here: the scheduler registry imports this module's types.
+        from repro.core.scheduler import registered_schedulers
+
+        if self.scheduler not in registered_schedulers():
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"choose from {registered_schedulers()}"
+            )
+        if self.num_nodes <= 1:
+            raise ValueError("need at least two nodes")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        if not 0 <= self.reduce_slowstart <= 1:
+            raise ValueError("reduce slowstart must be in [0, 1]")
+        if self.speed_factors is not None and len(self.speed_factors) != self.num_nodes:
+            raise ValueError(
+                f"expected {self.num_nodes} speed factors, got {len(self.speed_factors)}"
+            )
+        if self.failure_time is not None and self.failure_time < 0:
+            raise ValueError(f"negative failure time {self.failure_time}")
+
+    @property
+    def total_blocks(self) -> int:
+        """Native blocks summed over all jobs (each job reads its own file)."""
+        return sum(job.num_blocks for job in self.jobs)
+
+    def network_spec(self) -> NetworkSpec:
+        """The link capacities implied by ``rack_bandwidth``."""
+        return NetworkSpec(rack_download_bw=self.rack_bandwidth)
+
+    def with_scheduler(self, scheduler: str) -> "SimulationConfig":
+        """Copy of this config using a different scheduler."""
+        return replace(self, scheduler=scheduler)
+
+    def with_failure(self, failure: FailurePattern) -> "SimulationConfig":
+        """Copy of this config using a different failure pattern."""
+        return replace(self, failure=failure)
+
+    def with_seed(self, seed: int) -> "SimulationConfig":
+        """Copy of this config using a different master seed."""
+        return replace(self, seed=seed)

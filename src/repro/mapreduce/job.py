@@ -1,0 +1,60 @@
+"""Job and task descriptions for the simulated MapReduce engine.
+
+A *job* is split into map tasks (one per native block of its input file) and
+a fixed number of reduce tasks.  Map tasks are classified at assignment time
+relative to the slave they run on, following Section II-A of the paper:
+
+* ``NODE_LOCAL`` -- the block is stored on the slave itself;
+* ``RACK_LOCAL`` -- the block is on another node of the slave's rack
+  (the paper folds this into "local");
+* ``REMOTE`` -- the block is in a different rack and must be downloaded;
+* ``DEGRADED`` -- the block is lost and must be reconstructed via a
+  degraded read of ``k`` surviving blocks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.storage.block import BlockId
+
+
+class TaskKind(enum.Enum):
+    """Map or reduce."""
+
+    MAP = "map"
+    REDUCE = "reduce"
+
+
+class MapTaskCategory(enum.Enum):
+    """Locality class of a map task, fixed at assignment time."""
+
+    NODE_LOCAL = "node-local"
+    RACK_LOCAL = "rack-local"
+    REMOTE = "remote"
+    DEGRADED = "degraded"
+
+    @property
+    def is_local(self) -> bool:
+        """The paper's 'local' bucket: node-local or rack-local."""
+        return self in (MapTaskCategory.NODE_LOCAL, MapTaskCategory.RACK_LOCAL)
+
+
+@dataclass(frozen=True)
+class MapAssignment:
+    """A map task handed to a slave in a heartbeat response."""
+
+    job_id: int
+    block: BlockId
+    category: MapTaskCategory
+    slave_id: int
+
+
+@dataclass(frozen=True)
+class ReduceAssignment:
+    """A reduce task handed to a slave in a heartbeat response."""
+
+    job_id: int
+    reduce_index: int
+    slave_id: int

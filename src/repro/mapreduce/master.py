@@ -1,0 +1,213 @@
+"""The job tracker: job lifecycle and heartbeat-driven scheduling.
+
+The :class:`JobTracker` owns the FIFO job list, the per-job
+:class:`~repro.core.tasks.JobTaskState`, and the pluggable scheduler.  Slave
+processes call :meth:`JobTracker.heartbeat`; completion callbacks flow back
+through :meth:`on_map_complete` / :meth:`on_reduce_complete`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.scheduler import Scheduler
+from repro.core.tasks import JobTaskState
+from repro.mapreduce.config import JobConfig
+from repro.mapreduce.job import MapAssignment, ReduceAssignment
+from repro.mapreduce.metrics import JobMetrics, TaskRecord
+from repro.mapreduce.shuffle import JobShuffle
+from repro.sim.engine import Event, Simulator
+from repro.storage.hdfs import HdfsRaidCluster
+
+
+class JobTracker:
+    """Master-side state: jobs, scheduler, and completion accounting.
+
+    Parameters
+    ----------
+    sim:
+        The simulation engine.
+    topology:
+        Cluster layout.
+    hdfs:
+        The erasure-coded storage cluster (shared by all jobs).
+    scheduler:
+        The scheduling policy under test.
+    failed_nodes:
+        Nodes that are down when the trial starts; :meth:`fail_node` can
+        take down further nodes mid-run.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: ClusterTopology,
+        hdfs: HdfsRaidCluster,
+        scheduler: Scheduler,
+        failed_nodes: frozenset[int],
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.hdfs = hdfs
+        self.scheduler = scheduler
+        self.failed_nodes = frozenset(failed_nodes)
+        self.killed_tasks = 0
+
+        self.active_jobs: list[JobTaskState] = []
+        self.metrics: dict[int, JobMetrics] = {}
+        self.shuffles: dict[int, JobShuffle] = {}
+        self._expected_jobs = 0
+        self._finished_jobs = 0
+        self.all_done: Event = sim.event(name="all-jobs-done")
+
+    @property
+    def finished(self) -> bool:
+        """True once every expected job has completed."""
+        return self._expected_jobs > 0 and self._finished_jobs >= self._expected_jobs
+
+    def expect_jobs(self, count: int) -> None:
+        """Declare how many jobs this run will submit in total."""
+        if count <= 0:
+            raise ValueError("a simulation needs at least one job")
+        self._expected_jobs = count
+
+    def submit_job(self, job_id: int, config: JobConfig) -> JobTaskState:
+        """Initialise a job at its submit time and append it to the FIFO list.
+
+        A job processes the first ``config.num_blocks`` native blocks of the
+        stored file, so jobs with fewer blocks than the file holds see a
+        truncated view.
+        """
+        view = self.hdfs.failure_view(self.failed_nodes)
+        if config.num_blocks < len(view.lost_blocks) + len(view.available_blocks):
+            view = replace(
+                view,
+                lost_blocks=tuple(
+                    block
+                    for block in view.lost_blocks
+                    if block.native_index < config.num_blocks
+                ),
+                available_blocks=tuple(
+                    block
+                    for block in view.available_blocks
+                    if block.native_index < config.num_blocks
+                ),
+            )
+        state = JobTaskState(
+            job_id=job_id,
+            config=config,
+            view=view,
+            block_map=self.hdfs.block_map,
+            topology=self.topology,
+        )
+        self.active_jobs.append(state)
+        self.metrics[job_id] = JobMetrics(job_id=job_id, submit_time=self.sim.now)
+        self.shuffles[job_id] = JobShuffle(
+            self.sim, config.num_reduce_tasks, self.topology
+        )
+        return state
+
+    def heartbeat(
+        self, slave_id: int, free_map_slots: int, free_reduce_slots: int
+    ) -> tuple[list[MapAssignment], list[ReduceAssignment]]:
+        """Handle one slave heartbeat: delegate to the scheduler, log launches."""
+        if not self.active_jobs:
+            return [], []
+        maps, reduces = self.scheduler.assign(
+            slave_id, free_map_slots, free_reduce_slots, self.active_jobs, self.sim.now
+        )
+        for assignment in maps:
+            self._note_launch(assignment.job_id)
+        for assignment in reduces:
+            self._note_launch(assignment.job_id)
+        return maps, reduces
+
+    def job_state(self, job_id: int) -> JobTaskState:
+        """Look up an active job's scheduling state."""
+        for state in self.active_jobs:
+            if state.job_id == job_id:
+                return state
+        raise KeyError(f"job {job_id} is not active")
+
+    # -- completion callbacks ---------------------------------------------------
+
+    def on_map_complete(self, record: TaskRecord, shuffle_bytes: float) -> None:
+        """A map task finished: account it, deposit shuffle data."""
+        state = self.job_state(record.job_id)
+        state.on_map_complete()
+        self.metrics[record.job_id].tasks.append(record)
+        shuffle = self.shuffles[record.job_id]
+        shuffle.deposit(record.slave_id, shuffle_bytes)
+        if state.maps_all_completed():
+            shuffle.notify_maps_done()
+            if state.job_completed():
+                self._finish_job(state)
+
+    def on_reduce_complete(self, record: TaskRecord) -> None:
+        """A reduce task finished."""
+        state = self.job_state(record.job_id)
+        state.on_reduce_complete()
+        self.metrics[record.job_id].tasks.append(record)
+        if state.job_completed():
+            self._finish_job(state)
+
+    # -- mid-run failure ---------------------------------------------------------
+
+    def fail_node(self, node_id: int) -> None:
+        """Take a node down while jobs are running.
+
+        Pending tasks whose blocks lived on the node become degraded tasks;
+        the EDF guard's live-node view shrinks.  Killing the node's *running*
+        tasks is the slave runtime's job (it holds the processes) -- see
+        :meth:`on_map_task_killed` / :meth:`on_reduce_task_killed` for the
+        requeue half.
+
+        Simplification (documented in DESIGN.md): intermediate map outputs
+        already shuffled out of the node survive; Hadoop would re-execute
+        completed maps whose output was lost, a second-order effect the
+        paper's simulator also ignores.
+        """
+        if node_id in self.failed_nodes:
+            return
+        self.failed_nodes = self.failed_nodes | {node_id}
+        self.hdfs.block_map.check_recoverable(self.failed_nodes)
+        live = self.scheduler.context.live_nodes
+        if isinstance(live, set):
+            live.discard(node_id)
+        for state in self.active_jobs:
+            state.on_node_failure(node_id)
+
+    def on_map_task_killed(self, assignment: MapAssignment) -> None:
+        """A running map task died with its node: requeue it."""
+        state = self.job_state(assignment.job_id)
+        home = self.hdfs.node_of(assignment.block)
+        from repro.mapreduce.job import MapTaskCategory
+
+        state.requeue_killed_map(
+            assignment.block,
+            was_degraded=assignment.category is MapTaskCategory.DEGRADED,
+            lost=home in self.failed_nodes,
+        )
+        self.killed_tasks += 1
+
+    def on_reduce_task_killed(self, assignment: ReduceAssignment) -> None:
+        """A running reduce task died with its node: requeue and reset it."""
+        state = self.job_state(assignment.job_id)
+        state.requeue_killed_reduce(assignment.reduce_index)
+        self.shuffles[assignment.job_id].reset_reducer(assignment.reduce_index)
+        self.killed_tasks += 1
+
+    # -- internals ------------------------------------------------------------------
+
+    def _note_launch(self, job_id: int) -> None:
+        metrics = self.metrics[job_id]
+        if metrics.first_launch_time != metrics.first_launch_time:  # NaN check
+            metrics.first_launch_time = self.sim.now
+
+    def _finish_job(self, state: JobTaskState) -> None:
+        self.metrics[state.job_id].finish_time = self.sim.now
+        self.active_jobs.remove(state)
+        self._finished_jobs += 1
+        if self.finished and not self.all_done.fired:
+            self.all_done.succeed()

@@ -1,0 +1,85 @@
+"""JSON (de)serialisation of simulation configurations.
+
+Lets experiment definitions live in version-controlled files:
+
+.. code-block:: json
+
+    {
+      "num_nodes": 40, "num_racks": 4, "code": [20, 15],
+      "scheduler": "EDF", "failure": "single-node",
+      "jobs": [{"num_blocks": 1440, "num_reduce_tasks": 30}]
+    }
+
+run with ``repro simulate --config experiment.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+from repro.cluster.failures import FailurePattern
+from repro.ec.codec import CodeParams
+from repro.mapreduce.config import JobConfig, SimulationConfig
+from repro.storage.degraded import SourceSelection
+
+
+def config_to_dict(config: SimulationConfig) -> dict[str, Any]:
+    """Turn a :class:`SimulationConfig` into JSON-serialisable primitives."""
+    payload = dataclasses.asdict(config)
+    payload["code"] = [config.code.n, config.code.k]
+    payload["failure"] = config.failure.value
+    payload["source_selection"] = config.source_selection.value
+    payload["jobs"] = [dataclasses.asdict(job) for job in config.jobs]
+    if config.speed_factors is not None:
+        payload["speed_factors"] = list(config.speed_factors)
+    return payload
+
+
+def config_from_dict(payload: dict[str, Any]) -> SimulationConfig:
+    """Rebuild a :class:`SimulationConfig` from :func:`config_to_dict` output.
+
+    Missing keys fall back to the defaults, so sparse hand-written files
+    work; unknown keys raise, so typos do not silently vanish.
+    """
+    known = {field.name for field in dataclasses.fields(SimulationConfig)}
+    unknown = set(payload) - known
+    if unknown:
+        raise ValueError(f"unknown configuration keys: {sorted(unknown)}")
+    kwargs: dict[str, Any] = dict(payload)
+    if "code" in kwargs:
+        n, k = kwargs["code"]
+        kwargs["code"] = CodeParams(int(n), int(k))
+    if "failure" in kwargs and not isinstance(kwargs["failure"], FailurePattern):
+        kwargs["failure"] = FailurePattern(kwargs["failure"])
+    if "source_selection" in kwargs and not isinstance(
+        kwargs["source_selection"], SourceSelection
+    ):
+        kwargs["source_selection"] = SourceSelection(kwargs["source_selection"])
+    if "jobs" in kwargs:
+        kwargs["jobs"] = tuple(
+            job if isinstance(job, JobConfig) else JobConfig(**job)
+            for job in kwargs["jobs"]
+        )
+    if kwargs.get("speed_factors") is not None:
+        kwargs["speed_factors"] = tuple(kwargs["speed_factors"])
+    if kwargs.get("failure_eligible") is not None:
+        kwargs["failure_eligible"] = tuple(kwargs["failure_eligible"])
+    return SimulationConfig(**kwargs)
+
+
+def config_to_json(config: SimulationConfig, indent: int | None = 2) -> str:
+    """Serialise a configuration to a JSON string."""
+    return json.dumps(config_to_dict(config), indent=indent)
+
+
+def config_from_json(text: str) -> SimulationConfig:
+    """Parse a configuration from a JSON string."""
+    return config_from_dict(json.loads(text))
+
+
+def load_config(path: str) -> SimulationConfig:
+    """Load a configuration from a JSON file."""
+    with open(path) as handle:
+        return config_from_json(handle.read())

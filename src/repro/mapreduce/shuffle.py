@@ -1,0 +1,105 @@
+"""Shuffle traffic between map and reduce tasks.
+
+Each completed map task emits ``shuffle_ratio * block_size`` bytes of
+intermediate data, split evenly across the job's reduce tasks.  Reducers
+pull their share over the NodeTree -- so shuffle flows contend with
+degraded reads on the rack links, which is exactly the interaction
+Figure 7(e) of the paper measures.
+
+To keep the event count tractable, pending shuffle bytes are aggregated per
+*source rack*: a reducer drains everything deposited since its last drain
+with at most one flow per source rack.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.topology import ClusterTopology
+from repro.sim.engine import Event, Simulator
+
+
+class JobShuffle:
+    """Shuffle bookkeeping for one job.
+
+    Parameters
+    ----------
+    sim:
+        The simulation engine (for wakeup events).
+    num_reducers:
+        Number of reduce tasks in the job.
+    topology:
+        Used to map a completed map's node to its rack.
+    """
+
+    def __init__(self, sim: Simulator, num_reducers: int, topology: ClusterTopology) -> None:
+        self._sim = sim
+        self._topology = topology
+        self.num_reducers = num_reducers
+        self._pending: list[dict[int, float]] = [{} for _ in range(num_reducers)]
+        # Everything ever deposited, per reducer; a restarted reducer (its
+        # node failed mid-run) re-fetches from here.
+        self._cumulative: list[dict[int, float]] = [{} for _ in range(num_reducers)]
+        self._wakeups: list[Event | None] = [None] * num_reducers
+        self.total_deposited = 0.0
+        self.total_drained = 0.0
+
+    def deposit(self, map_node: int, total_bytes: float) -> None:
+        """Register a completed map's intermediate output.
+
+        ``total_bytes`` is the map's whole emission; every reducer receives
+        an equal slice, attributed to the map node's rack.
+        """
+        if self.num_reducers == 0 or total_bytes <= 0:
+            return
+        rack = self._topology.rack_of(map_node)
+        share = total_bytes / self.num_reducers
+        self.total_deposited += total_bytes
+        for index in range(self.num_reducers):
+            pending = self._pending[index]
+            pending[rack] = pending.get(rack, 0.0) + share
+            cumulative = self._cumulative[index]
+            cumulative[rack] = cumulative.get(rack, 0.0) + share
+            wakeup = self._wakeups[index]
+            if wakeup is not None:
+                self._wakeups[index] = None
+                wakeup.succeed()
+
+    def take(self, reducer_index: int) -> dict[int, float]:
+        """Claim (and clear) everything pending for one reducer.
+
+        Returns bytes keyed by source rack; empty when nothing is pending.
+        """
+        pending = self._pending[reducer_index]
+        if not pending:
+            return {}
+        self._pending[reducer_index] = {}
+        self.total_drained += sum(pending.values())
+        return pending
+
+    def wait(self, reducer_index: int) -> Event:
+        """An event that fires at the reducer's next deposit."""
+        existing = self._wakeups[reducer_index]
+        if existing is not None:
+            return existing
+        wakeup = self._sim.event(name=f"shuffle-wakeup:{reducer_index}")
+        self._wakeups[reducer_index] = wakeup
+        return wakeup
+
+    def reset_reducer(self, reducer_index: int) -> None:
+        """Restore a restarted reducer's full fetch backlog.
+
+        A reduce task killed by a node failure loses everything it already
+        pulled; its replacement must re-fetch every deposit made so far.
+        """
+        self._pending[reducer_index] = dict(self._cumulative[reducer_index])
+        wakeup = self._wakeups[reducer_index]
+        if wakeup is not None:
+            self._wakeups[reducer_index] = None
+            wakeup.succeed()
+
+    def notify_maps_done(self) -> None:
+        """Wake every blocked reducer so it can observe map-phase completion."""
+        for index in range(self.num_reducers):
+            wakeup = self._wakeups[index]
+            if wakeup is not None:
+                self._wakeups[index] = None
+                wakeup.succeed()

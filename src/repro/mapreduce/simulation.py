@@ -1,0 +1,130 @@
+"""Top-level simulation entry point.
+
+``run_simulation(config)`` builds the cluster, storage, scheduler, master
+and slaves, injects the configured failure, runs the event loop to
+completion and returns a :class:`~repro.mapreduce.metrics.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.failures import FailureInjector
+from repro.cluster.nodetree import NodeTree
+from repro.cluster.topology import ClusterTopology
+from repro.core.scheduler import SchedulerContext, make_scheduler
+from repro.mapreduce.config import SimulationConfig
+from repro.mapreduce.master import JobTracker
+from repro.mapreduce.metrics import SimulationResult
+from repro.mapreduce.slave import SlaveRuntime, slave_process
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.storage.hdfs import HdfsRaidCluster
+
+
+def build_topology(config: SimulationConfig) -> ClusterTopology:
+    """Construct the cluster topology a config describes."""
+    if config.num_nodes % config.num_racks != 0:
+        raise ValueError(
+            f"{config.num_nodes} nodes do not divide into {config.num_racks} racks"
+        )
+    per_rack = config.num_nodes // config.num_racks
+    return ClusterTopology.from_rack_sizes(
+        [per_rack] * config.num_racks,
+        map_slots=config.map_slots,
+        reduce_slots=config.reduce_slots,
+        speed_factors=list(config.speed_factors) if config.speed_factors else None,
+    )
+
+
+def expected_degraded_read_time(config: SimulationConfig) -> float:
+    """The analysis estimate ``(R-1) k S / (R W)`` (Section IV-B).
+
+    Used by EDF's rack-awareness guard as the minimum spacing between
+    degraded launches in one rack.
+    """
+    R = config.num_racks  # noqa: N806 - paper notation
+    k = config.code.k
+    return (R - 1) * k * config.block_size / (R * config.rack_bandwidth)
+
+
+def run_simulation(config: SimulationConfig) -> SimulationResult:
+    """Run one trial and return its metrics.
+
+    The trial is fully determined by ``config`` (including ``config.seed``).
+    """
+    sim = Simulator()
+    rng = RngStreams(config.seed)
+    topology = build_topology(config)
+
+    # Storage: one erasure-coded file shared by all jobs, as in the paper's
+    # simulator setup ("we create 1440 blocks in total").
+    max_blocks = max(job.num_blocks for job in config.jobs)
+    hdfs = HdfsRaidCluster(
+        topology=topology,
+        params=config.code,
+        num_native_blocks=max_blocks,
+        placement=config.placement,
+        rng=rng,
+        source_selection=config.source_selection,
+    )
+
+    injector = FailureInjector(config.failure)
+    eligible = list(config.failure_eligible) if config.failure_eligible else None
+    chosen_victims = injector.choose_failed_nodes(topology, rng, eligible)
+    if chosen_victims:
+        hdfs.block_map.check_recoverable(chosen_victims)
+
+    # With a failure_time, the cluster starts healthy and the victims die
+    # mid-run; otherwise they are down from the beginning.
+    deferred_failure = config.failure_time is not None and bool(chosen_victims)
+    initial_failed = frozenset() if deferred_failure else chosen_victims
+
+    scheduler = make_scheduler(
+        config.scheduler,
+        SchedulerContext(
+            topology=topology,
+            live_nodes=set(topology.node_ids()) - initial_failed,
+            expected_degraded_read_time=expected_degraded_read_time(config),
+            map_time_mean=config.jobs[0].map_time_mean,
+            reduce_slowstart=config.reduce_slowstart,
+        ),
+    )
+
+    nodetree = NodeTree(sim, topology, config.network_spec(), model=config.network_model)
+    tracker = JobTracker(sim, topology, hdfs, scheduler, initial_failed)
+    tracker.expect_jobs(len(config.jobs))
+    runtime = SlaveRuntime(sim, config, tracker, nodetree, hdfs.planner, rng)
+
+    for job_id, job_config in enumerate(config.jobs):
+        sim.call_at(
+            job_config.submit_time,
+            lambda job_id=job_id, job_config=job_config: tracker.submit_job(
+                job_id, job_config
+            ),
+        )
+
+    if deferred_failure:
+
+        def strike() -> None:
+            for victim in sorted(chosen_victims):
+                runtime.fail_node(victim)
+
+        sim.call_at(config.failure_time, strike)
+
+    for node_id in sorted(topology.node_ids()):
+        if node_id in initial_failed:
+            continue
+        sim.spawn(slave_process(runtime, node_id), name=f"slave:{node_id}")
+
+    sim.run()
+    if not tracker.finished:
+        raise RuntimeError("simulation ended before all jobs completed")
+    return SimulationResult(
+        jobs=tracker.metrics,
+        failed_nodes=tracker.failed_nodes,
+        scheduler=config.scheduler,
+        seed=config.seed,
+        shuffle_totals={
+            job_id: (shuffle.total_deposited, shuffle.total_drained)
+            for job_id, shuffle in tracker.shuffles.items()
+        },
+    )

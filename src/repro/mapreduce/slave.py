@@ -1,0 +1,234 @@
+"""Task trackers: slave heartbeat loops and task execution processes.
+
+Each live node runs a *slave process* that heartbeats the master every
+``heartbeat_interval`` seconds (3 s by default, as in the paper) and spawns
+one *task runner* process per assignment.  Map runners perform the remote
+fetch or degraded read over the NodeTree before processing; reduce runners
+drain shuffle data as maps complete and process once the map phase ends.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from repro.cluster.nodetree import NodeTree
+from repro.mapreduce.config import SimulationConfig
+from repro.mapreduce.job import MapAssignment, MapTaskCategory, ReduceAssignment, TaskKind
+from repro.mapreduce.master import JobTracker
+from repro.mapreduce.metrics import TaskRecord
+from repro.sim.engine import Interrupt, Process, Simulator, Timeout
+from repro.sim.resources import Semaphore
+from repro.sim.rng import RngStreams
+from repro.storage.degraded import DegradedReadPlanner
+
+
+class SlaveRuntime:
+    """Everything slave and task processes need, bundled once per trial."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SimulationConfig,
+        tracker: JobTracker,
+        nodetree: NodeTree,
+        planner: DegradedReadPlanner,
+        rng: RngStreams,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.tracker = tracker
+        self.nodetree = nodetree
+        self.planner = planner
+        self.rng = rng
+        topology = tracker.topology
+        self.map_slots = {
+            node.node_id: Semaphore(sim, node.map_slots, name=f"map:{node.node_id}")
+            for node in topology.nodes
+        }
+        self.reduce_slots = {
+            node.node_id: Semaphore(sim, node.reduce_slots, name=f"reduce:{node.node_id}")
+            for node in topology.nodes
+        }
+        self._running: dict[int, set[Process]] = {
+            node.node_id: set() for node in topology.nodes
+        }
+
+    def fail_node(self, node_id: int) -> None:
+        """Kill a node mid-run: master bookkeeping, then its live tasks."""
+        self.tracker.fail_node(node_id)
+        for process in list(self._running[node_id]):
+            process.interrupt("node-failure")
+        self._running[node_id].clear()
+
+    def _register(self, node_id: int, process: Process) -> None:
+        self._running[node_id].add(process)
+
+    def _unregister(self, node_id: int, process: Process) -> None:
+        self._running[node_id].discard(process)
+
+    def speed_of(self, node_id: int) -> float:
+        """Compute speed factor of a node."""
+        return self.tracker.topology.node(node_id).speed_factor
+
+
+def slave_process(runtime: SlaveRuntime, node_id: int) -> Generator:
+    """The heartbeat loop of one live slave.
+
+    Heartbeat phases are staggered by a per-slave random offset within one
+    interval (unless ``config.heartbeat_stagger`` is off), as real task
+    trackers' heartbeats are not synchronised; without this, all slaves
+    would report at the same instants in node-id order, a systematic
+    artifact that biases which nodes receive degraded tasks.
+    """
+    sim = runtime.sim
+    tracker = runtime.tracker
+    interval = runtime.config.heartbeat_interval
+    if runtime.config.heartbeat_stagger:
+        offset = runtime.rng.stream(f"heartbeat:{node_id}").uniform(0.0, interval)
+        yield Timeout(offset)
+    while not tracker.finished:
+        if node_id in tracker.failed_nodes:
+            return  # this slave just died
+        free_map = runtime.map_slots[node_id].available
+        free_reduce = runtime.reduce_slots[node_id].available
+        maps, reduces = tracker.heartbeat(node_id, free_map, free_reduce)
+        for assignment in maps:
+            if not runtime.map_slots[node_id].try_acquire():
+                raise RuntimeError(
+                    f"scheduler over-assigned map slots on node {node_id}"
+                )
+            process = sim.spawn(
+                map_task_process(runtime, assignment),
+                name=f"map:{assignment.job_id}:{assignment.block}",
+            )
+            runtime._register(node_id, process)
+        for assignment in reduces:
+            if not runtime.reduce_slots[node_id].try_acquire():
+                raise RuntimeError(
+                    f"scheduler over-assigned reduce slots on node {node_id}"
+                )
+            process = sim.spawn(
+                reduce_task_process(runtime, assignment),
+                name=f"reduce:{assignment.job_id}:{assignment.reduce_index}",
+            )
+            runtime._register(node_id, process)
+        yield Timeout(interval)
+
+
+def map_task_process(runtime: SlaveRuntime, assignment: MapAssignment) -> Generator:
+    """Execute one map task: fetch (if needed), process, report.
+
+    If the hosting node fails mid-task, the process receives an
+    :class:`~repro.sim.engine.Interrupt` and hands the task back to the
+    master for re-execution elsewhere; the dead node's slot is not
+    released.
+    """
+    try:
+        yield from _map_task_body(runtime, assignment)
+    except Interrupt:
+        runtime.tracker.on_map_task_killed(assignment)
+
+
+def _map_task_body(runtime: SlaveRuntime, assignment: MapAssignment) -> Generator:
+    sim = runtime.sim
+    config = runtime.config
+    job = runtime.tracker.job_state(assignment.job_id)
+    record = TaskRecord(
+        job_id=assignment.job_id,
+        kind=TaskKind.MAP,
+        category=assignment.category,
+        slave_id=assignment.slave_id,
+        launch_time=sim.now,
+    )
+
+    if assignment.category is MapTaskCategory.DEGRADED:
+        plan = runtime.planner.plan(
+            assignment.block,
+            assignment.slave_id,
+            runtime.tracker.failed_nodes,
+            runtime.rng,
+        )
+        per_rack: dict[int, float] = {}
+        for source in plan.sources:
+            if source.node_id == assignment.slave_id:
+                continue  # already on this node, no transfer
+            rack = runtime.tracker.topology.rack_of(source.node_id)
+            per_rack[rack] = per_rack.get(rack, 0.0) + config.block_size
+        flows = [
+            runtime.nodetree.transfer_from_rack(rack, assignment.slave_id, size)
+            for rack, size in sorted(per_rack.items())
+        ]
+        if flows:
+            yield sim.all_of(flows)
+        record.download_time = sim.now - record.launch_time
+    elif assignment.category in (MapTaskCategory.RACK_LOCAL, MapTaskCategory.REMOTE):
+        home = runtime.tracker.hdfs.node_of(assignment.block)
+        yield runtime.nodetree.transfer(home, assignment.slave_id, config.block_size)
+        record.download_time = sim.now - record.launch_time
+
+    processing = runtime.rng.normal(
+        f"maptime:{assignment.job_id}:{assignment.block}",
+        job.config.map_time_mean,
+        job.config.map_time_std,
+    ) / runtime.speed_of(assignment.slave_id)
+    yield Timeout(processing)
+
+    record.finish_time = sim.now
+    shuffle_bytes = config.block_size * job.config.shuffle_ratio
+    runtime.map_slots[assignment.slave_id].release()
+    runtime.tracker.on_map_complete(record, shuffle_bytes)
+
+
+def reduce_task_process(runtime: SlaveRuntime, assignment: ReduceAssignment) -> Generator:
+    """Execute one reduce task: drain shuffle until maps finish, then process.
+
+    Like maps, a reduce task killed by a node failure is requeued; its
+    already-fetched shuffle data died with the node, so the replacement
+    starts from scratch.
+    """
+    try:
+        yield from _reduce_task_body(runtime, assignment)
+    except Interrupt:
+        runtime.tracker.on_reduce_task_killed(assignment)
+
+
+def _reduce_task_body(runtime: SlaveRuntime, assignment: ReduceAssignment) -> Generator:
+    sim = runtime.sim
+    job = runtime.tracker.job_state(assignment.job_id)
+    shuffle = runtime.tracker.shuffles[assignment.job_id]
+    record = TaskRecord(
+        job_id=assignment.job_id,
+        kind=TaskKind.REDUCE,
+        category=None,
+        slave_id=assignment.slave_id,
+        launch_time=sim.now,
+    )
+    shuffling_time = 0.0
+    while True:
+        batch = shuffle.take(assignment.reduce_index)
+        if batch:
+            drain_start = sim.now
+            flows = [
+                runtime.nodetree.transfer_from_rack(rack, assignment.slave_id, size)
+                for rack, size in sorted(batch.items())
+            ]
+            yield sim.all_of(flows)
+            shuffling_time += sim.now - drain_start
+            # Pace drains so that many small deposits batch into one flow.
+            yield Timeout(runtime.config.shuffle_drain_interval)
+            continue
+        if job.maps_all_completed():
+            break
+        yield shuffle.wait(assignment.reduce_index)
+    record.download_time = shuffling_time
+
+    processing = runtime.rng.normal(
+        f"reducetime:{assignment.job_id}:{assignment.reduce_index}",
+        job.config.reduce_time_mean,
+        job.config.reduce_time_std,
+    ) / runtime.speed_of(assignment.slave_id)
+    yield Timeout(processing)
+
+    record.finish_time = sim.now
+    runtime.reduce_slots[assignment.slave_id].release()
+    runtime.tracker.on_reduce_complete(record)

@@ -1,0 +1,159 @@
+"""Task-timeline export and rendering.
+
+The paper communicates its scheduling ideas through map-slot activity
+charts (Figures 3 and 4).  This module turns a
+:class:`~repro.mapreduce.metrics.SimulationResult` into the same artifact:
+
+* :func:`to_records` / :func:`to_json` / :func:`write_csv` -- flat task
+  records for external tooling;
+* :func:`render_timeline` -- an ASCII map-slot activity chart, one row per
+  node, download phases drawn differently from processing.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+
+from repro.mapreduce.job import TaskKind
+from repro.mapreduce.metrics import SimulationResult, TaskRecord
+
+#: Characters used by the ASCII chart.
+_PROCESS_CHAR = {"map": "#", "reduce": "R"}
+_DOWNLOAD_CHAR = "~"
+
+
+def to_records(result: SimulationResult) -> list[dict]:
+    """Flatten a result into one dict per task, JSON/CSV-friendly."""
+    records = []
+    for job_id, job in sorted(result.jobs.items()):
+        for task in job.tasks:
+            records.append(
+                {
+                    "job_id": job_id,
+                    "kind": task.kind.value,
+                    "category": task.category.value if task.category else "",
+                    "slave_id": task.slave_id,
+                    "launch_time": round(task.launch_time, 6),
+                    "download_time": round(task.download_time, 6),
+                    "finish_time": round(task.finish_time, 6),
+                    "runtime": round(task.runtime, 6),
+                }
+            )
+    records.sort(key=lambda r: (r["launch_time"], r["slave_id"]))
+    return records
+
+
+def to_json(result: SimulationResult, indent: int | None = None) -> str:
+    """Serialise the task timeline (plus trial metadata) as JSON."""
+    payload = {
+        "scheduler": result.scheduler,
+        "seed": result.seed,
+        "failed_nodes": sorted(result.failed_nodes),
+        "jobs": {
+            str(job_id): {
+                "submit_time": job.submit_time,
+                "first_launch_time": job.first_launch_time,
+                "finish_time": job.finish_time,
+                "runtime": job.runtime,
+            }
+            for job_id, job in sorted(result.jobs.items())
+        },
+        "tasks": to_records(result),
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def write_csv(result: SimulationResult, stream: io.TextIOBase | None = None) -> str:
+    """Write the task records as CSV; returns the text."""
+    records = to_records(result)
+    buffer = io.StringIO()
+    fields = [
+        "job_id", "kind", "category", "slave_id",
+        "launch_time", "download_time", "finish_time", "runtime",
+    ]
+    writer = csv.DictWriter(buffer, fieldnames=fields)
+    writer.writeheader()
+    writer.writerows(records)
+    text = buffer.getvalue()
+    if stream is not None:
+        stream.write(text)
+    return text
+
+
+def render_timeline(
+    result: SimulationResult,
+    width: int = 72,
+    job_id: int | None = None,
+    kinds: tuple[TaskKind, ...] = (TaskKind.MAP,),
+) -> str:
+    """Render an ASCII map-slot activity chart (the paper's Figure 3 view).
+
+    One row per (node, slot-lane); ``~`` marks download/degraded-read time,
+    ``#`` processing (``R`` for reduce tasks).  Lanes are assigned greedily
+    per node, so the row count equals each node's peak concurrency.
+    """
+    tasks = []
+    for jid, job in sorted(result.jobs.items()):
+        if job_id is not None and jid != job_id:
+            continue
+        tasks.extend(task for task in job.tasks if task.kind in kinds)
+    if not tasks:
+        return "(no tasks)"
+    horizon = max(task.finish_time for task in tasks)
+    start = min(task.launch_time for task in tasks)
+    span = max(horizon - start, 1e-9)
+    scale = (width - 1) / span
+
+    def column(time: float) -> int:
+        return min(width - 1, max(0, int((time - start) * scale)))
+
+    lanes: dict[tuple[int, int], list[str]] = {}
+    lane_busy_until: dict[int, list[float]] = {}
+    for task in sorted(tasks, key=lambda t: (t.slave_id, t.launch_time)):
+        node = task.slave_id
+        busy = lane_busy_until.setdefault(node, [])
+        for lane_index, busy_until in enumerate(busy):
+            if task.launch_time >= busy_until - 1e-9:
+                busy[lane_index] = task.finish_time
+                break
+        else:
+            lane_index = len(busy)
+            busy.append(task.finish_time)
+        row = lanes.setdefault((node, lane_index), [" "] * width)
+        begin = column(task.launch_time)
+        split = column(task.launch_time + task.download_time)
+        end = column(task.finish_time)
+        glyph = _PROCESS_CHAR["reduce" if task.kind is TaskKind.REDUCE else "map"]
+        for position in range(begin, max(begin, split)):
+            row[position] = _DOWNLOAD_CHAR
+        for position in range(split, end + 1):
+            row[position] = glyph
+    lines = [
+        f"timeline [{start:.1f}s .. {horizon:.1f}s]  (~ download, # map, R reduce)"
+    ]
+    for (node, lane_index) in sorted(lanes):
+        label = f"node {node}.{lane_index}"
+        lines.append(f"{label:>10} |{''.join(lanes[(node, lane_index)])}|")
+    return "\n".join(lines)
+
+
+def summarize(result: SimulationResult) -> str:
+    """A one-paragraph textual digest of a trial."""
+    lines = [
+        f"scheduler={result.scheduler} seed={result.seed} "
+        f"failed={sorted(result.failed_nodes)}"
+    ]
+    for job_id, job in sorted(result.jobs.items()):
+        degraded_read = job.mean_degraded_read_time()
+        degraded_text = "n/a" if math.isnan(degraded_read) else f"{degraded_read:.1f}s"
+        lines.append(
+            f"  job {job_id}: runtime={job.runtime:.1f}s "
+            f"maps={sum(1 for t in job.tasks if t.kind is TaskKind.MAP)} "
+            f"degraded={job.degraded_task_count} "
+            f"mean-degraded-read={degraded_text} "
+            f"stolen={job.stolen_task_count}"
+        )
+    return "\n".join(lines)

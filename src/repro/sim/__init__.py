@@ -1,0 +1,29 @@
+"""Discrete-event simulation substrate.
+
+A small, deterministic, generator-based discrete-event engine in the spirit
+of the CSIM20 library the paper's simulator was built on:
+
+* :mod:`repro.sim.engine` -- the event heap, virtual clock and
+  generator-based processes.
+* :mod:`repro.sim.resources` -- counting semaphores (slots), fluid max-min
+  fair links, and exclusive-hold links.
+* :mod:`repro.sim.rng` -- named, independently seeded random streams so that
+  experiments are reproducible and insensitive to the order in which
+  components draw randomness.
+"""
+
+from repro.sim.engine import Event, Interrupt, Process, Simulator, Timeout
+from repro.sim.resources import ExclusivePathNetwork, FluidNetwork, Semaphore
+from repro.sim.rng import RngStreams
+
+__all__ = [
+    "Event",
+    "ExclusivePathNetwork",
+    "FluidNetwork",
+    "Interrupt",
+    "Process",
+    "RngStreams",
+    "Semaphore",
+    "Simulator",
+    "Timeout",
+]

@@ -1,0 +1,319 @@
+"""A deterministic generator-based discrete-event engine.
+
+The engine follows the classic process-interaction style (SimPy, CSIM):
+simulation *processes* are Python generators that ``yield`` either a
+:class:`Timeout` (advance virtual time) or an :class:`Event` (block until it
+fires).  The engine maintains a single event heap keyed by
+``(time, sequence)`` so that simultaneous events run in schedule order,
+making every run bit-for-bit reproducible.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(sim, name, delay):
+...     yield Timeout(delay)
+...     log.append((sim.now, name))
+>>> _ = sim.spawn(worker(sim, "a", 2.0))
+>>> _ = sim.spawn(worker(sim, "b", 1.0))
+>>> sim.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Generator
+from typing import Any
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the engine (e.g. re-firing an event)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries whatever the interrupter supplied.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` (or :meth:`fail`)
+    fires it, waking every process that yielded it.  Waiting on an already
+    fired event resumes the waiter immediately with the stored value.
+    """
+
+    __slots__ = ("_sim", "_fired", "_value", "_error", "_waiters", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self._sim = sim
+        self._fired = False
+        self._value: Any = None
+        self._error: BaseException | None = None
+        self._waiters: list[Process] = []
+        self.name = name
+
+    @property
+    def fired(self) -> bool:
+        """Whether the event has already fired."""
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with; only valid once fired."""
+        if not self._fired:
+            raise SimulationError(f"event {self.name!r} has not fired yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> None:
+        """Fire the event successfully, waking all waiters this instant."""
+        if self._fired:
+            raise SimulationError(f"event {self.name!r} fired twice")
+        self._fired = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self._sim._schedule_resume(process, value)
+
+    def fail(self, error: BaseException) -> None:
+        """Fire the event with an exception; waiters have it raised in them."""
+        if self._fired:
+            raise SimulationError(f"event {self.name!r} fired twice")
+        self._fired = True
+        self._error = error
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self._sim._schedule_throw(process, error)
+
+    def _add_waiter(self, process: "Process") -> None:
+        if self._fired:
+            if self._error is not None:
+                self._sim._schedule_throw(process, self._error)
+            else:
+                self._sim._schedule_resume(process, self._value)
+        else:
+            self._waiters.append(process)
+
+    def _discard_waiter(self, process: "Process") -> None:
+        if process in self._waiters:
+            self._waiters.remove(process)
+
+
+class Timeout:
+    """Yielded by a process to sleep for ``delay`` units of virtual time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout {delay}")
+        self.delay = delay
+
+
+class AllOf:
+    """Yielded to wait until *all* of the given events have fired.
+
+    Resumes with a list of the events' values in the given order.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: list[Event]) -> None:
+        self.events = list(events)
+
+
+class Process:
+    """A running simulation process wrapping a generator."""
+
+    __slots__ = ("_sim", "_generator", "finished", "name", "_waiting_on", "_epoch")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
+        self._sim = sim
+        self._generator = generator
+        self.finished: Event = Event(sim, name=f"finished:{name}")
+        self.name = name
+        self._waiting_on: Event | None = None
+        # Incremented every time the process runs; scheduled resumes capture
+        # the epoch they were armed in, so a stale wake-up (e.g. a timeout
+        # that was outrun by an interrupt) is dropped instead of resuming
+        # the process a second time.
+        self._epoch = 0
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant."""
+        if self.finished.fired:
+            return
+        if self._waiting_on is not None:
+            self._waiting_on._discard_waiter(self)
+            self._waiting_on = None
+        self._sim._schedule_throw(self, Interrupt(cause))
+
+    def _step(self, kind: str, payload: Any) -> None:
+        if self.finished.fired:
+            return
+        self._epoch += 1
+        self._waiting_on = None
+        try:
+            if kind == "throw":
+                yielded = self._generator.throw(payload)
+            else:
+                yielded = self._generator.send(payload)
+        except StopIteration as stop:
+            self.finished.succeed(stop.value)
+            return
+        except Interrupt:
+            # An unhandled interrupt terminates the process quietly.
+            self.finished.succeed(None)
+            return
+        self._handle_yield(yielded)
+
+    def _handle_yield(self, yielded: Any) -> None:
+        if isinstance(yielded, Timeout):
+            self._sim._schedule_resume(self, None, delay=yielded.delay)
+            return
+        if isinstance(yielded, Event):
+            self._waiting_on = yielded
+            yielded._add_waiter(self)
+            return
+        if isinstance(yielded, Process):
+            self._waiting_on = yielded.finished
+            yielded.finished._add_waiter(self)
+            return
+        if isinstance(yielded, AllOf):
+            gate = Event(self._sim, name="allof")
+            remaining = len(yielded.events)
+            if remaining == 0:
+                self._sim._schedule_resume(self, [])
+                return
+            values: list[Any] = [None] * remaining
+            state = {"remaining": remaining}
+
+            def arm(index: int, event: Event) -> None:
+                def on_fire(value: Any) -> None:
+                    values[index] = value
+                    state["remaining"] -= 1
+                    if state["remaining"] == 0:
+                        gate.succeed(values)
+
+                self._sim._add_callback(event, on_fire)
+
+            for index, event in enumerate(yielded.events):
+                arm(index, event)
+            self._waiting_on = gate
+            gate._add_waiter(self)
+            return
+        raise SimulationError(f"process {self.name!r} yielded unsupported {yielded!r}")
+
+
+class Simulator:
+    """The event loop: a heap of timestamped callbacks and a virtual clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float) -> Timeout:
+        """Create a timeout; for symmetry with :meth:`event`."""
+        return Timeout(delay)
+
+    def all_of(self, events: list[Event]) -> AllOf:
+        """Create a conjunction wait on several events."""
+        return AllOf(events)
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process from a generator; first step runs at ``now``."""
+        process = Process(self, generator, name=name)
+        self._schedule_resume(process, None)
+        return process
+
+    def call_at(self, time: float, fn: Callable[[], None]) -> None:
+        """Schedule a plain callback at an absolute virtual time."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule at {time} before now {self._now}")
+        self._push(time, fn)
+
+    def call_in(self, delay: float, fn: Callable[[], None]) -> None:
+        """Schedule a plain callback after ``delay`` units."""
+        self.call_at(self._now + delay, fn)
+
+    def run(self, until: float | None = None) -> None:
+        """Run until the heap drains or virtual time reaches ``until``."""
+        while self._heap:
+            time, _, fn = self._heap[0]
+            if until is not None and time > until:
+                self._now = until
+                return
+            heapq.heappop(self._heap)
+            self._now = time
+            fn()
+        if until is not None and until > self._now:
+            self._now = until
+
+    def peek(self) -> float | None:
+        """Time of the next scheduled callback, or None when idle."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    # -- internal plumbing -------------------------------------------------
+
+    def _push(self, time: float, fn: Callable[[], None]) -> None:
+        self._sequence += 1
+        heapq.heappush(self._heap, (time, self._sequence, fn))
+
+    def _schedule_resume(self, process: Process, value: Any, delay: float = 0.0) -> None:
+        epoch = process._epoch
+
+        def resume() -> None:
+            if process._epoch == epoch:
+                process._step("send", value)
+
+        self._push(self._now + delay, resume)
+
+    def _schedule_throw(self, process: Process, error: BaseException) -> None:
+        epoch = process._epoch
+
+        def throw() -> None:
+            if process._epoch == epoch:
+                process._step("throw", error)
+
+        self._push(self._now, throw)
+
+    def _add_callback(self, event: Event, fn: Callable[[Any], None]) -> None:
+        """Attach a plain callback to an event (fires immediately if fired)."""
+        if event.fired:
+            if event._error is not None:
+                raise event._error
+            self._push(self._now, lambda: fn(event._value))
+            return
+
+        class _CallbackShim:
+            """Quacks like a Process for Event's waiter list."""
+
+            _epoch = 0  # callbacks are one-shot; no staleness to track
+            finished = event  # only `.fired` is consulted, never re-fired
+
+            def _step(self, kind: str, payload: Any) -> None:
+                if kind == "throw":
+                    raise payload
+                fn(payload)
+
+        event._waiters.append(_CallbackShim())  # type: ignore[arg-type]

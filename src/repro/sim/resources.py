@@ -1,0 +1,282 @@
+"""Simulation resources: slots, fluid fair-shared links, exclusive links.
+
+Three resource kinds cover everything the MapReduce simulator needs:
+
+* :class:`Semaphore` -- counting semaphore with a FIFO queue; models map and
+  reduce slots.
+* :class:`FluidNetwork` -- links whose active flows share bandwidth max-min
+  fairly, recomputed whenever a flow starts or finishes.  This captures the
+  paper's observation that two degraded reads entering one rack halve each
+  other's throughput ("doubles the download time, from 10s to 20s").
+* :class:`ExclusivePathNetwork` -- the literal CSIM "hold the communication
+  link for a duration" semantics: a transfer occupies every link on its path
+  exclusively; contending transfers queue.  Provided for the network-model
+  ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.engine import Event, Simulator
+
+
+class Semaphore:
+    """Counting semaphore with FIFO granting.
+
+    ``acquire`` returns an :class:`Event` that fires when a unit is granted;
+    ``release`` returns one unit and wakes the queue head.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "") -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        self._sim = sim
+        self.capacity = capacity
+        self.available = capacity
+        self.name = name
+        self._queue: list[Event] = []
+
+    def acquire(self) -> Event:
+        """Request one unit; the returned event fires when granted."""
+        grant = self._sim.event(name=f"sem:{self.name}")
+        if self.available > 0:
+            self.available -= 1
+            grant.succeed()
+        else:
+            self._queue.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Return one unit; grants the oldest waiter if any."""
+        if self._queue:
+            self._queue.pop(0).succeed()
+        else:
+            if self.available >= self.capacity:
+                raise ValueError(f"semaphore {self.name!r} released above capacity")
+            self.available += 1
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire; True on success."""
+        if self.available > 0:
+            self.available -= 1
+            return True
+        return False
+
+    @property
+    def queue_length(self) -> int:
+        """Number of blocked acquirers."""
+        return len(self._queue)
+
+
+@dataclass
+class _Flow:
+    """One active fluid transfer."""
+
+    links: tuple[str, ...]
+    remaining: float
+    done: Event
+    size: float = 0.0
+    rate: float = 0.0
+    started_at: float = 0.0
+
+    @property
+    def finished(self) -> bool:
+        """Whether the flow is complete, up to float residue.
+
+        The tolerance is relative to the flow size: rate*elapsed debits can
+        leave residues of a few bytes on 10^8-byte flows, and an absolute
+        epsilon would livelock the completion scheduler.
+        """
+        return self.remaining <= max(1e-6 * self.size, 1e-9)
+
+
+class FluidNetwork:
+    """Max-min fair fluid bandwidth sharing across named links.
+
+    Each flow crosses one or more links; at any instant the flow rates are
+    the max-min fair allocation given each link's capacity.  Rates are
+    recomputed whenever a flow starts or finishes, and the next completion
+    is scheduled from the updated rates.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._capacities: dict[str, float] = {}
+        self._flows: list[_Flow] = []
+        self._last_update = 0.0
+        self._pending_completion: dict | None = None
+
+    def add_link(self, name: str, capacity: float) -> None:
+        """Register a link; capacity is in bytes (or bits) per second."""
+        if capacity <= 0:
+            raise ValueError(f"link {name!r} capacity must be positive, got {capacity}")
+        if name in self._capacities:
+            raise ValueError(f"duplicate link {name!r}")
+        self._capacities[name] = capacity
+
+    def has_link(self, name: str) -> bool:
+        """Whether a link with this name exists."""
+        return name in self._capacities
+
+    def transfer(self, links: list[str], size: float) -> Event:
+        """Start a flow of ``size`` over ``links``; event fires on completion.
+
+        An empty ``links`` list means an uncontended transfer that finishes
+        instantly (used for node-local movement).
+        """
+        done = self._sim.event(name="flow")
+        for link in links:
+            if link not in self._capacities:
+                raise KeyError(f"unknown link {link!r}")
+        if size <= 0 or not links:
+            done.succeed()
+            return done
+        self._advance()
+        flow = _Flow(links=tuple(links), remaining=float(size), done=done,
+                     size=float(size), started_at=self._sim.now)
+        self._flows.append(flow)
+        self._reschedule()
+        return flow.done
+
+    def active_flow_count(self, link: str | None = None) -> int:
+        """Number of active flows, optionally restricted to one link."""
+        if link is None:
+            return len(self._flows)
+        return sum(1 for flow in self._flows if link in flow.links)
+
+    # -- internals ----------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Debit progress accrued since the last rate change."""
+        elapsed = self._sim.now - self._last_update
+        if elapsed > 0:
+            for flow in self._flows:
+                flow.remaining = max(0.0, flow.remaining - flow.rate * elapsed)
+        self._last_update = self._sim.now
+
+    def _recompute_rates(self) -> None:
+        """Progressive-filling max-min fair allocation."""
+        unfrozen = list(self._flows)
+        residual = dict(self._capacities)
+        for flow in self._flows:
+            flow.rate = 0.0
+        while unfrozen:
+            # Bottleneck link: smallest fair share among links carrying flows.
+            best_share = None
+            for link, capacity in residual.items():
+                count = sum(1 for flow in unfrozen if link in flow.links)
+                if count == 0:
+                    continue
+                share = capacity / count
+                if best_share is None or share < best_share:
+                    best_share = share
+                    bottleneck = link
+            if best_share is None:
+                break
+            frozen = [flow for flow in unfrozen if bottleneck in flow.links]
+            for flow in frozen:
+                flow.rate = best_share
+                for link in flow.links:
+                    residual[link] = max(0.0, residual[link] - best_share)
+            del residual[bottleneck]
+            unfrozen = [flow for flow in unfrozen if bottleneck not in flow.links]
+
+    def _reschedule(self) -> None:
+        """Recompute rates and arm the next completion callback."""
+        self._recompute_rates()
+        if self._pending_completion is not None:
+            self._pending_completion["cancelled"] = True
+            self._pending_completion = None
+        soonest: float | None = None
+        for flow in self._flows:
+            if flow.rate <= 0:
+                continue
+            eta = flow.remaining / flow.rate
+            if soonest is None or eta < soonest:
+                soonest = eta
+        if soonest is None:
+            return
+        handle = {"cancelled": False}
+        self._pending_completion = handle
+
+        def fire() -> None:
+            if handle["cancelled"]:
+                return
+            self._pending_completion = None
+            self._advance()
+            finished = [flow for flow in self._flows if flow.finished]
+            self._flows = [flow for flow in self._flows if not flow.finished]
+            for flow in finished:
+                flow.done.succeed(self._sim.now - flow.started_at)
+            self._reschedule()
+
+        self._sim.call_in(soonest, fire)
+
+
+class ExclusivePathNetwork:
+    """Transfers hold every link on their path exclusively (CSIM semantics).
+
+    Pending transfers sit in one global FIFO; whenever links free up, the
+    queue is scanned in arrival order and every request whose links are all
+    free is granted (first-fit, so a blocked wide request does not starve
+    narrow ones behind it — matching how CSIM facility queues behave).
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._capacities: dict[str, float] = {}
+        self._busy: set[str] = set()
+        self._queue: list[tuple[tuple[str, ...], float, Event]] = []
+
+    def add_link(self, name: str, capacity: float) -> None:
+        """Register a link with the given capacity."""
+        if capacity <= 0:
+            raise ValueError(f"link {name!r} capacity must be positive, got {capacity}")
+        if name in self._capacities:
+            raise ValueError(f"duplicate link {name!r}")
+        self._capacities[name] = capacity
+
+    def has_link(self, name: str) -> bool:
+        """Whether a link with this name exists."""
+        return name in self._capacities
+
+    def transfer(self, links: list[str], size: float) -> Event:
+        """Queue a transfer over ``links``; event fires when it completes."""
+        done = self._sim.event(name="hold")
+        for link in links:
+            if link not in self._capacities:
+                raise KeyError(f"unknown link {link!r}")
+        if size <= 0 or not links:
+            done.succeed()
+            return done
+        self._queue.append((tuple(links), float(size), done))
+        self._drain()
+        return done
+
+    def active_flow_count(self, link: str | None = None) -> int:
+        """Busy-link count proxy, for interface parity with FluidNetwork."""
+        if link is None:
+            return len(self._busy)
+        return 1 if link in self._busy else 0
+
+    def _drain(self) -> None:
+        granted_any = True
+        while granted_any:
+            granted_any = False
+            for index, (links, size, done) in enumerate(self._queue):
+                if any(link in self._busy for link in links):
+                    continue
+                del self._queue[index]
+                self._busy.update(links)
+                duration = size / min(self._capacities[link] for link in links)
+                started = self._sim.now
+
+                def release(links=links, done=done, started=started) -> None:
+                    self._busy.difference_update(links)
+                    done.succeed(self._sim.now - started)
+                    self._drain()
+
+                self._sim.call_in(duration, release)
+                granted_any = True
+                break

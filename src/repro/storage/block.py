@@ -1,0 +1,65 @@
+"""Block identities and stored-block metadata.
+
+A :class:`BlockId` names a block by its stripe coordinates; a
+:class:`StoredBlock` adds where it lives.  Payloads are kept out of these
+types on purpose: the event-driven simulator only moves metadata, while the
+functional testbed (:mod:`repro.testbed`) stores real bytes keyed by
+:class:`BlockId`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ec.stripe import BlockKind, block_name
+
+
+@dataclass(frozen=True, order=True)
+class BlockId:
+    """Identity of one block: ``(stripe_id, position)`` within a file.
+
+    Positions ``0 .. k-1`` are native, the rest parity; ``k`` is carried so
+    the id can classify and print itself the way the paper does
+    (``B_{i,j}`` / ``P_{i,j}``).
+    """
+
+    stripe_id: int
+    position: int
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.stripe_id < 0 or self.position < 0:
+            raise ValueError(f"negative stripe coordinates ({self.stripe_id}, {self.position})")
+
+    @property
+    def kind(self) -> BlockKind:
+        """Whether this block is native data or parity."""
+        if self.position < self.k:
+            return BlockKind.NATIVE
+        return BlockKind.PARITY
+
+    @property
+    def is_native(self) -> bool:
+        """True for native (data) blocks."""
+        return self.kind is BlockKind.NATIVE
+
+    @property
+    def native_index(self) -> int:
+        """Sequence number among native blocks; only valid for natives."""
+        if not self.is_native:
+            raise ValueError(f"{self} is a parity block and has no native index")
+        return self.stripe_id * self.k + self.position
+
+    def __str__(self) -> str:
+        return block_name(self.stripe_id, self.position, self.k)
+
+
+@dataclass(frozen=True)
+class StoredBlock:
+    """A block plus the node holding it."""
+
+    block: BlockId
+    node_id: int
+
+    def __str__(self) -> str:
+        return f"{self.block}@node{self.node_id}"

@@ -1,0 +1,110 @@
+"""Degraded-read planning: which ``k`` survivors to download.
+
+A degraded task must fetch ``k`` surviving blocks of the lost block's stripe
+and decode.  The paper's convention (and its analysis) is that the task
+"randomly picks k out of n-1 blocks to download"; an alternative heuristic
+that prefers survivors in the reader's own rack is also provided, since the
+choice only affects inter-rack traffic volume and is a natural ablation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cluster.topology import ClusterTopology
+from repro.sim.rng import RngStreams
+from repro.storage.block import BlockId, StoredBlock
+from repro.storage.namenode import BlockMap
+
+
+class SourceSelection(enum.Enum):
+    """How a degraded read picks its ``k`` source blocks."""
+
+    RANDOM = "random"
+    RACK_LOCAL_FIRST = "rack-local-first"
+
+
+@dataclass(frozen=True)
+class DegradedReadPlan:
+    """The concrete download set for one degraded read.
+
+    ``sources`` lists the ``k`` surviving blocks to fetch; helpers classify
+    them relative to the reading node for traffic accounting.
+    """
+
+    lost_block: BlockId
+    reader_node: int
+    sources: tuple[StoredBlock, ...]
+
+    def cross_rack_sources(self, topology: ClusterTopology) -> list[StoredBlock]:
+        """Sources whose download crosses the core switch."""
+        reader_rack = topology.rack_of(self.reader_node)
+        return [
+            source
+            for source in self.sources
+            if topology.rack_of(source.node_id) != reader_rack
+        ]
+
+    def same_rack_sources(self, topology: ClusterTopology) -> list[StoredBlock]:
+        """Sources served from within the reader's rack (including same node)."""
+        reader_rack = topology.rack_of(self.reader_node)
+        return [
+            source
+            for source in self.sources
+            if topology.rack_of(source.node_id) == reader_rack
+        ]
+
+
+class DegradedReadPlanner:
+    """Builds :class:`DegradedReadPlan` objects for lost blocks.
+
+    Parameters
+    ----------
+    block_map:
+        The file's placement metadata.
+    topology:
+        Cluster layout, used by the rack-local-first selection.
+    selection:
+        Source-selection policy.
+    """
+
+    def __init__(
+        self,
+        block_map: BlockMap,
+        topology: ClusterTopology,
+        selection: SourceSelection = SourceSelection.RANDOM,
+    ) -> None:
+        self.block_map = block_map
+        self.topology = topology
+        self.selection = selection
+
+    def plan(
+        self,
+        lost_block: BlockId,
+        reader_node: int,
+        failed_nodes: frozenset[int],
+        rng: RngStreams,
+    ) -> DegradedReadPlan:
+        """Choose ``k`` surviving source blocks for reconstructing ``lost_block``."""
+        k = self.block_map.params.k
+        survivors = self.block_map.surviving_stripe_blocks(lost_block.stripe_id, failed_nodes)
+        survivors = [stored for stored in survivors if stored.block != lost_block]
+        if len(survivors) < k:
+            raise RuntimeError(
+                f"stripe {lost_block.stripe_id} has only {len(survivors)} survivors, "
+                f"need k={k}"
+            )
+        if self.selection is SourceSelection.RANDOM:
+            chosen = rng.sample(f"degraded:{lost_block}", survivors, k)
+        elif self.selection is SourceSelection.RACK_LOCAL_FIRST:
+            reader_rack = self.topology.rack_of(reader_node)
+            local = [s for s in survivors if self.topology.rack_of(s.node_id) == reader_rack]
+            remote = [s for s in survivors if self.topology.rack_of(s.node_id) != reader_rack]
+            rng.shuffle(f"degraded:{lost_block}", local)
+            rng.shuffle(f"degraded:{lost_block}", remote)
+            chosen = (local + remote)[:k]
+        else:
+            raise AssertionError(f"unhandled selection {self.selection}")
+        ordered = tuple(sorted(chosen, key=lambda stored: stored.block))
+        return DegradedReadPlan(lost_block=lost_block, reader_node=reader_node, sources=ordered)

@@ -1,0 +1,101 @@
+"""The HDFS-RAID cluster facade.
+
+:class:`HdfsRaidCluster` ties together a topology, an erasure code and a
+placement policy, and answers the questions the MapReduce layer asks:
+where every block lives, which map tasks are local / remote / degraded for a
+given failure set, and how a degraded read should be sourced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.topology import ClusterTopology
+from repro.ec.codec import CodeParams
+from repro.sim.rng import RngStreams
+from repro.storage.block import BlockId
+from repro.storage.degraded import DegradedReadPlanner, SourceSelection
+from repro.storage.namenode import BlockMap
+from repro.storage.placement import make_placement_policy
+
+
+@dataclass(frozen=True)
+class FailureView:
+    """The scheduler's view of one file under a concrete failure set.
+
+    ``lost_blocks`` need degraded tasks; ``available_blocks`` are natives on
+    live nodes and become local or remote map tasks.
+    """
+
+    failed_nodes: frozenset[int]
+    lost_blocks: tuple[BlockId, ...]
+    available_blocks: tuple[BlockId, ...]
+
+
+class HdfsRaidCluster:
+    """An erasure-coded storage cluster holding one (logical) file.
+
+    Parameters
+    ----------
+    topology:
+        Cluster layout.
+    params:
+        Erasure-code parameters ``(n, k)``.
+    num_native_blocks:
+        Number of native (data) blocks in the stored file.
+    placement:
+        Placement policy name (``random``, ``round-robin``, ``declustered``).
+    rng:
+        Random streams used by randomized placement.
+    source_selection:
+        Degraded-read source policy.
+    rack_fault_tolerant:
+        Enforce the at-most-``n-k``-blocks-per-rack rule (see
+        :mod:`repro.storage.placement`).  Disable for layouts like the
+        paper's testbed, where stripes are wider than any rack allows.
+    """
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        params: CodeParams,
+        num_native_blocks: int,
+        placement: str,
+        rng: RngStreams,
+        source_selection: SourceSelection = SourceSelection.RANDOM,
+        rack_fault_tolerant: bool = True,
+    ) -> None:
+        if num_native_blocks <= 0:
+            raise ValueError(f"need a positive native block count, got {num_native_blocks}")
+        self.topology = topology
+        self.params = params
+        policy = make_placement_policy(
+            placement, topology, params, rack_fault_tolerant
+        )
+        num_stripes = -(-num_native_blocks // params.k)
+        assignment = policy.place_file(num_stripes, rng)
+        self.block_map = BlockMap(params, assignment, num_native_blocks)
+        self.planner = DegradedReadPlanner(self.block_map, topology, source_selection)
+
+    def failure_view(self, failed_nodes: frozenset[int]) -> FailureView:
+        """Split native blocks into lost vs available for this failure set.
+
+        Raises if the failure exceeds the code's tolerance for any stripe.
+        """
+        self.block_map.check_recoverable(failed_nodes)
+        lost = tuple(self.block_map.lost_native_blocks(failed_nodes))
+        lost_set = set(lost)
+        available = tuple(
+            block for block in self.block_map.native_blocks() if block not in lost_set
+        )
+        return FailureView(
+            failed_nodes=failed_nodes, lost_blocks=lost, available_blocks=available
+        )
+
+    def node_of(self, block: BlockId) -> int:
+        """Node holding ``block``."""
+        return self.block_map.node_of(block)
+
+    def local_native_blocks(self, node_id: int) -> list[BlockId]:
+        """Native blocks stored on ``node_id``."""
+        return self.block_map.native_blocks_on_node(node_id)

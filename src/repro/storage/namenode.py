@@ -1,0 +1,124 @@
+"""The block map: which node holds which block, and failure-mode views.
+
+:class:`BlockMap` is the namenode's metadata for one erasure-coded file: a
+mapping from :class:`~repro.storage.block.BlockId` to node id, plus the
+queries the scheduler needs — which native blocks are lost for a given
+failure set, and which survivors remain in each stripe.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.cluster.topology import ClusterTopology
+from repro.ec.codec import CodeParams
+from repro.storage.block import BlockId, StoredBlock
+
+
+class BlockMap:
+    """Placement metadata for one erasure-coded file.
+
+    Parameters
+    ----------
+    params:
+        The ``(n, k)`` code parameters.
+    assignment:
+        Mapping of every block of every stripe to its node id.
+    num_native_blocks:
+        Count of *real* native blocks (the last stripe may be padded; padded
+        positions still exist in ``assignment`` but produce no map task).
+    """
+
+    def __init__(
+        self,
+        params: CodeParams,
+        assignment: Mapping[BlockId, int],
+        num_native_blocks: int,
+    ) -> None:
+        self.params = params
+        self._assignment = dict(assignment)
+        self.num_native_blocks = num_native_blocks
+        if num_native_blocks < 0:
+            raise ValueError("negative native block count")
+        self.num_stripes = -(-num_native_blocks // params.k) if num_native_blocks else 0
+        for stripe_id in range(self.num_stripes):
+            for position in range(params.n):
+                block = BlockId(stripe_id=stripe_id, position=position, k=params.k)
+                if block not in self._assignment:
+                    raise ValueError(f"assignment missing block {block}")
+
+    # -- basic queries -----------------------------------------------------
+
+    def node_of(self, block: BlockId) -> int:
+        """Node holding ``block``."""
+        try:
+            return self._assignment[block]
+        except KeyError:
+            raise KeyError(f"unknown block {block}") from None
+
+    def blocks_on_node(self, node_id: int) -> list[BlockId]:
+        """All blocks stored on ``node_id``, sorted."""
+        return sorted(block for block, node in self._assignment.items() if node == node_id)
+
+    def native_blocks(self) -> list[BlockId]:
+        """The real native blocks of the file, in file order."""
+        blocks = []
+        for index in range(self.num_native_blocks):
+            stripe_id, position = divmod(index, self.params.k)
+            blocks.append(BlockId(stripe_id=stripe_id, position=position, k=self.params.k))
+        return blocks
+
+    def stripe_blocks(self, stripe_id: int) -> list[StoredBlock]:
+        """All ``n`` blocks of a stripe with their locations."""
+        stored = []
+        for position in range(self.params.n):
+            block = BlockId(stripe_id=stripe_id, position=position, k=self.params.k)
+            stored.append(StoredBlock(block=block, node_id=self._assignment[block]))
+        return stored
+
+    def all_blocks(self) -> list[StoredBlock]:
+        """Every stored block with its location."""
+        return [StoredBlock(block=block, node_id=node) for block, node in sorted(self._assignment.items())]
+
+    # -- failure-mode views --------------------------------------------------
+
+    def lost_native_blocks(self, failed_nodes: Iterable[int]) -> list[BlockId]:
+        """Native blocks whose nodes are down — each needs a degraded task."""
+        failed = set(failed_nodes)
+        return [block for block in self.native_blocks() if self._assignment[block] in failed]
+
+    def surviving_stripe_blocks(
+        self, stripe_id: int, failed_nodes: Iterable[int]
+    ) -> list[StoredBlock]:
+        """Blocks of a stripe still on live nodes."""
+        failed = set(failed_nodes)
+        return [
+            stored
+            for stored in self.stripe_blocks(stripe_id)
+            if stored.node_id not in failed
+        ]
+
+    def is_recoverable(self, stripe_id: int, failed_nodes: Iterable[int]) -> bool:
+        """Whether the stripe still has at least ``k`` surviving blocks."""
+        return len(self.surviving_stripe_blocks(stripe_id, failed_nodes)) >= self.params.k
+
+    def check_recoverable(self, failed_nodes: Iterable[int]) -> None:
+        """Raise if any stripe lost more than ``n - k`` blocks."""
+        for stripe_id in range(self.num_stripes):
+            if not self.is_recoverable(stripe_id, failed_nodes):
+                raise RuntimeError(
+                    f"stripe {stripe_id} is unrecoverable under failures {sorted(set(failed_nodes))}"
+                )
+
+    def blocks_per_node(self) -> dict[int, int]:
+        """Histogram of stored blocks per node (for load-balance assertions)."""
+        histogram: dict[int, int] = {}
+        for node in self._assignment.values():
+            histogram[node] = histogram.get(node, 0) + 1
+        return histogram
+
+    def native_blocks_on_node(self, node_id: int, topology: ClusterTopology | None = None) -> list[BlockId]:
+        """Real native blocks on one node (the node's local map-task inputs)."""
+        del topology  # reserved for future rack-scoped queries
+        natives = set(self.native_blocks())
+        return [block for block in self.blocks_on_node(node_id) if block in natives]

@@ -1,0 +1,35 @@
+"""A functional mini-MapReduce runtime (the paper's testbed, Section VI).
+
+Where :mod:`repro.mapreduce` *simulates* task execution on a virtual clock,
+this package really runs it: blocks hold real bytes, HDFS-RAID encoding uses
+the real Reed-Solomon coder, degraded reads really decode, and WordCount /
+Grep / LineCount really tokenise text -- on a pool of worker threads with
+per-node slot limits and an emulated network.  It substitutes for the
+paper's 13-node Hadoop 0.22 + HDFS-RAID cluster.
+
+* :mod:`repro.testbed.textgen` -- seeded Gutenberg-like corpus generator.
+* :mod:`repro.testbed.localfs` -- in-memory datanode stores + HDFS-RAID fs.
+* :mod:`repro.testbed.netem` -- wall-clock network emulation (scaled).
+* :mod:`repro.testbed.jobs` -- the three I/O-heavy MapReduce jobs.
+* :mod:`repro.testbed.engine` -- the threaded MapReduce engine with
+  pluggable (LF / BDF / EDF) scheduling.
+"""
+
+from repro.testbed.engine import TestbedCluster, TestbedConfig, TestbedJobResult
+from repro.testbed.jobs import GrepJob, LineCountJob, MapReduceJob, WordCountJob
+from repro.testbed.localfs import HdfsRaidFilesystem
+from repro.testbed.netem import EmulatedNetwork
+from repro.testbed.textgen import generate_corpus
+
+__all__ = [
+    "EmulatedNetwork",
+    "GrepJob",
+    "HdfsRaidFilesystem",
+    "LineCountJob",
+    "MapReduceJob",
+    "TestbedCluster",
+    "TestbedConfig",
+    "TestbedJobResult",
+    "WordCountJob",
+    "generate_corpus",
+]

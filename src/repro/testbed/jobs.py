@@ -1,0 +1,96 @@
+"""The three I/O-heavy MapReduce jobs of the paper's testbed.
+
+Each job supplies a ``map_fn`` (block bytes -> key/value pairs) and a
+``reduce_fn`` (key + values -> output records), mirroring the Hadoop
+programs the paper runs:
+
+* **WordCount** -- word -> occurrence count;
+* **Grep** -- lines containing a given word;
+* **LineCount** -- line -> occurrence count (like WordCount but keyed by
+  whole lines, so it shuffles more data than Grep).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter
+from collections.abc import Iterable
+
+
+class MapReduceJob(ABC):
+    """Interface every testbed job implements."""
+
+    #: Short name used in reports.
+    name = "abstract"
+
+    @abstractmethod
+    def map_fn(self, payload: bytes) -> Iterable[tuple[str, int | str]]:
+        """Turn one input block into intermediate key/value pairs."""
+
+    @abstractmethod
+    def reduce_fn(self, key: str, values: list) -> list[tuple[str, int | str]]:
+        """Merge all values of one key into output records."""
+
+    def combine(self, pairs: Iterable[tuple[str, int | str]]) -> list[tuple[str, int | str]]:
+        """Optional map-side combiner; default is a no-op passthrough."""
+        return list(pairs)
+
+
+class WordCountJob(MapReduceJob):
+    """Count the occurrences of each word."""
+
+    name = "WordCount"
+
+    def map_fn(self, payload: bytes) -> Iterable[tuple[str, int]]:
+        counts = Counter(payload.decode("ascii", errors="replace").split())
+        return counts.items()
+
+    def reduce_fn(self, key: str, values: list) -> list[tuple[str, int]]:
+        return [(key, sum(values))]
+
+    def combine(self, pairs: Iterable[tuple[str, int]]) -> list[tuple[str, int]]:
+        combined: Counter = Counter()
+        for word, count in pairs:
+            combined[word] += count
+        return list(combined.items())
+
+
+class GrepJob(MapReduceJob):
+    """Emit the lines containing a given word."""
+
+    name = "Grep"
+
+    def __init__(self, word: str = "the") -> None:
+        if not word:
+            raise ValueError("grep needs a non-empty word")
+        self.word = word
+
+    def map_fn(self, payload: bytes) -> Iterable[tuple[str, int]]:
+        needle = self.word
+        emitted = []
+        for line in payload.decode("ascii", errors="replace").splitlines():
+            if needle in line.split():
+                emitted.append((line, 1))
+        return emitted
+
+    def reduce_fn(self, key: str, values: list) -> list[tuple[str, int]]:
+        return [(key, sum(values))]
+
+
+class LineCountJob(MapReduceJob):
+    """Count the occurrences of each whole line."""
+
+    name = "LineCount"
+
+    def map_fn(self, payload: bytes) -> Iterable[tuple[str, int]]:
+        counts = Counter(payload.decode("ascii", errors="replace").splitlines())
+        return counts.items()
+
+    def reduce_fn(self, key: str, values: list) -> list[tuple[str, int]]:
+        return [(key, sum(values))]
+
+    def combine(self, pairs: Iterable[tuple[str, int]]) -> list[tuple[str, int]]:
+        combined: Counter = Counter()
+        for line, count in pairs:
+            combined[line] += count
+        return list(combined.items())

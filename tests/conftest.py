@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.ec.codec import CodeParams
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh discrete-event engine."""
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> RngStreams:
+    """Deterministic random streams."""
+    return RngStreams(1234)
+
+
+@pytest.fixture
+def small_topology() -> ClusterTopology:
+    """Two racks of three nodes, two map slots each."""
+    return ClusterTopology.from_rack_sizes([3, 3], map_slots=2, reduce_slots=1)
+
+
+@pytest.fixture
+def paper_example_topology() -> ClusterTopology:
+    """The motivating example's five-node, two-rack cluster."""
+    return ClusterTopology.from_rack_sizes([3, 2], map_slots=2, reduce_slots=0)
+
+
+@pytest.fixture
+def code_4_2() -> CodeParams:
+    """The (4, 2) code of the paper's examples."""
+    return CodeParams(4, 2)
+
+
+@pytest.fixture
+def code_6_4() -> CodeParams:
+    """A (6, 4) code: two parity blocks, wider stripes."""
+    return CodeParams(6, 4)

@@ -1,0 +1,105 @@
+"""Cross-validation: the Section IV-B formulas vs the simulator.
+
+The analysis makes simplifying assumptions (lock-step rounds, constant task
+times, declustered placement, map-only jobs, downloads bottlenecked on rack
+downlinks).  Feeding the simulator a configuration that honours those
+assumptions, the measured runtimes should land near the closed forms --
+a strong end-to-end consistency check between two independent
+implementations of the same model.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.analysis.model import AnalysisParams, AnalyticalModel
+from repro.cluster.failures import FailurePattern
+from repro.cluster.network import MB, mbps
+from repro.ec.codec import CodeParams
+from repro.mapreduce.config import JobConfig, SimulationConfig
+from repro.mapreduce.simulation import run_simulation
+
+#: Shared parameters (modest scale so the test stays fast).
+NUM_NODES = 16
+NUM_RACKS = 4
+MAP_SLOTS = 2
+MAP_TIME = 20.0
+BLOCK_SIZE = 64 * MB
+BANDWIDTH = mbps(400)
+CODE = CodeParams(8, 6)
+NUM_BLOCKS = 320
+
+
+def analysis_model() -> AnalyticalModel:
+    return AnalyticalModel(
+        AnalysisParams(
+            num_nodes=NUM_NODES,
+            num_racks=NUM_RACKS,
+            map_slots=MAP_SLOTS,
+            map_time=MAP_TIME,
+            block_size=BLOCK_SIZE,
+            rack_bandwidth=BANDWIDTH,
+            code=CODE,
+            num_blocks=NUM_BLOCKS,
+        )
+    )
+
+
+def sim_config(scheduler: str, seed: int) -> SimulationConfig:
+    return SimulationConfig(
+        num_nodes=NUM_NODES,
+        num_racks=NUM_RACKS,
+        map_slots=MAP_SLOTS,
+        code=CODE,
+        block_size=BLOCK_SIZE,
+        rack_bandwidth=BANDWIDTH,
+        placement="declustered",
+        jobs=(
+            JobConfig(
+                num_blocks=NUM_BLOCKS,
+                map_time_mean=MAP_TIME,
+                map_time_std=0.01,  # the analysis assumes constant task times
+                num_reduce_tasks=0,
+                shuffle_ratio=0.0,
+            ),
+        ),
+        scheduler=scheduler,
+        heartbeat_interval=1.0,  # fine-grained: approximates lock-step rounds
+        seed=seed,
+    )
+
+
+def mean_runtime(scheduler: str, failure: FailurePattern, seeds=range(3)) -> float:
+    samples = []
+    for seed in seeds:
+        config = sim_config(scheduler, seed).with_failure(failure)
+        samples.append(run_simulation(config).job(0).runtime)
+    return statistics.mean(samples)
+
+
+class TestCrossValidation:
+    def test_normal_mode_matches_formula(self):
+        predicted = analysis_model().normal_mode_runtime()
+        measured = mean_runtime("LF", FailurePattern.NONE)
+        assert measured == pytest.approx(predicted, rel=0.15)
+
+    def test_locality_first_matches_formula(self):
+        predicted = analysis_model().locality_first_runtime()
+        measured = mean_runtime("LF", FailurePattern.SINGLE_NODE)
+        assert measured == pytest.approx(predicted, rel=0.30)
+
+    def test_degraded_first_matches_formula(self):
+        predicted = analysis_model().degraded_first_runtime()
+        measured = mean_runtime("BDF", FailurePattern.SINGLE_NODE)
+        assert measured == pytest.approx(predicted, rel=0.30)
+
+    def test_reduction_direction_agrees(self):
+        model = analysis_model()
+        predicted_reduction = model.runtime_reduction()
+        lf = mean_runtime("LF", FailurePattern.SINGLE_NODE)
+        bdf = mean_runtime("BDF", FailurePattern.SINGLE_NODE)
+        measured_reduction = (lf - bdf) / lf
+        assert measured_reduction > 0
+        assert measured_reduction == pytest.approx(predicted_reduction, abs=0.15)

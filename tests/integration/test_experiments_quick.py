@@ -1,0 +1,75 @@
+"""Quick-configuration shape checks of the experiment harnesses.
+
+The benchmarks run the paper-scale versions; these tests run scaled-down
+variants so CI exercises the whole harness path in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cluster.network import MB
+from repro.ec.codec import CodeParams
+from repro.experiments.fig7_simulation import multi_job_config, run_fig7a
+from repro.experiments.fig9_testbed import format_runtimes
+from repro.experiments.registry import get_experiment, list_experiments
+from repro.mapreduce.config import JobConfig, SimulationConfig
+
+
+def quick_base() -> SimulationConfig:
+    return SimulationConfig(
+        num_nodes=8,
+        num_racks=4,
+        map_slots=2,
+        code=CodeParams(6, 4),
+        block_size=16 * MB,
+        jobs=(JobConfig(num_blocks=48, num_reduce_tasks=2),),
+    )
+
+
+class TestFig7Harness:
+    def test_fig7a_quick_shape(self):
+        codes = (CodeParams(4, 2), CodeParams(6, 4))
+        table = run_fig7a(quick_base(), seeds=[0, 1], codes=codes)
+        assert len(table.rows) == 2
+        for columns in table.rows.values():
+            assert {"LF", "EDF"} <= set(columns)
+            for stats in columns.values():
+                assert stats.median >= 1.0  # failure mode never beats normal
+
+    def test_multi_job_config_arrivals_increase(self):
+        config = multi_job_config(quick_base(), seed=3)
+        submits = [job.submit_time for job in config.jobs]
+        assert submits == sorted(submits)
+        assert len(config.jobs) == 10
+        assert submits[0] == 0.0
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert list_experiments() == ["fig3", "fig5", "fig7", "fig8", "fig9", "table1"]
+
+    def test_get_unknown(self):
+        with pytest.raises(ValueError):
+            get_experiment("fig12")
+
+    def test_fig3_and_fig5_run_fast(self):
+        # These two are cheap enough to execute in a unit-test run.
+        report3 = get_experiment("fig3")()
+        assert "40 s" in report3 and "30 s" in report3
+        report5 = get_experiment("fig5")()
+        assert "Figure 5(a)" in report5
+
+
+class TestFig9Formatting:
+    def test_format_runtimes(self):
+        outcome = {
+            "WordCount": {"LF": [2.0, 2.2], "EDF": [1.5, 1.7]},
+            "Grep": {"LF": [1.0], "EDF": [0.9]},
+        }
+        text = format_runtimes(outcome, "demo")
+        assert "WordCount" in text
+        assert "reduction" in text
+        assert "23.8%" in text  # (2.1 - 1.6) / 2.1

@@ -1,0 +1,89 @@
+"""Failure-injection integration tests (Figure 7(d) mechanics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.failures import FailurePattern
+from repro.cluster.network import MB
+from repro.ec.codec import CodeParams
+from repro.mapreduce.config import JobConfig, SimulationConfig
+from repro.mapreduce.simulation import run_simulation
+
+
+def config(**overrides) -> SimulationConfig:
+    defaults = dict(
+        num_nodes=12,
+        num_racks=4,
+        map_slots=2,
+        code=CodeParams(8, 6),
+        block_size=32 * MB,
+        jobs=(JobConfig(num_blocks=96, num_reduce_tasks=4),),
+        scheduler="EDF",
+        seed=5,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestFailurePatterns:
+    def test_double_node_failure_completes(self):
+        result = run_simulation(config(failure=FailurePattern.DOUBLE_NODE))
+        assert len(result.failed_nodes) == 2
+        assert len(result.job(0).tasks) == 100
+
+    def test_rack_failure_completes(self):
+        result = run_simulation(config(failure=FailurePattern.RACK))
+        assert len(result.failed_nodes) == 3
+        assert len(result.job(0).tasks) == 100
+
+    def test_more_failures_more_degraded_tasks(self):
+        single = run_simulation(config(failure=FailurePattern.SINGLE_NODE))
+        double = run_simulation(config(failure=FailurePattern.DOUBLE_NODE))
+        rack = run_simulation(config(failure=FailurePattern.RACK))
+        assert (
+            single.job(0).degraded_task_count
+            <= double.job(0).degraded_task_count
+            <= rack.job(0).degraded_task_count
+        )
+
+    def test_runtime_grows_with_failure_severity(self):
+        runtimes = {}
+        for pattern in (
+            FailurePattern.NONE,
+            FailurePattern.SINGLE_NODE,
+            FailurePattern.RACK,
+        ):
+            total = 0.0
+            for seed in range(3):
+                total += run_simulation(config(failure=pattern, seed=seed)).job(0).runtime
+            runtimes[pattern] = total
+        assert runtimes[FailurePattern.NONE] < runtimes[FailurePattern.SINGLE_NODE]
+        assert runtimes[FailurePattern.SINGLE_NODE] < runtimes[FailurePattern.RACK]
+
+    def test_failure_eligible_respected(self):
+        result = run_simulation(config(failure_eligible=(7,)))
+        assert result.failed_nodes == frozenset({7})
+
+
+class TestToleranceLimits:
+    def test_rack_failure_survivable_by_construction(self):
+        """The Section III placement rule makes any one rack expendable."""
+        for seed in range(3):
+            result = run_simulation(config(failure=FailurePattern.RACK, seed=seed))
+            assert len(result.job(0).tasks) == 100
+
+    def test_unrecoverable_failure_detected(self):
+        """Failing more nodes than the code tolerates raises, not corrupts."""
+        from repro.cluster.topology import ClusterTopology
+        from repro.sim.rng import RngStreams
+        from repro.storage.hdfs import HdfsRaidCluster
+
+        topology = ClusterTopology.from_rack_sizes([3, 3])
+        cluster = HdfsRaidCluster(
+            topology, CodeParams(4, 2), num_native_blocks=24,
+            placement="declustered", rng=RngStreams(1),
+        )
+        stripe_nodes = [s.node_id for s in cluster.block_map.stripe_blocks(0)]
+        with pytest.raises(RuntimeError):
+            cluster.failure_view(frozenset(stripe_nodes[:3]))

@@ -1,0 +1,96 @@
+"""Mid-run node failure: the node dies *while* the job executes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.failures import FailurePattern
+from repro.cluster.network import MB
+from repro.ec.codec import CodeParams
+from repro.mapreduce.config import JobConfig, SimulationConfig
+from repro.mapreduce.job import MapTaskCategory, TaskKind
+from repro.mapreduce.simulation import run_simulation
+
+
+def config(failure_time=None, **overrides) -> SimulationConfig:
+    defaults = dict(
+        num_nodes=8,
+        num_racks=2,
+        map_slots=2,
+        code=CodeParams(4, 2),
+        block_size=32 * MB,
+        jobs=(JobConfig(num_blocks=64, num_reduce_tasks=4),),
+        scheduler="EDF",
+        seed=7,
+        failure_time=failure_time,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestMidRunFailure:
+    def test_all_work_still_completes(self):
+        result = run_simulation(config(failure_time=50.0))
+        job = result.job(0)
+        maps = [t for t in job.tasks if t.kind is TaskKind.MAP]
+        reduces = [t for t in job.tasks if t.kind is TaskKind.REDUCE]
+        assert len(maps) == 64
+        assert len(reduces) == 4
+
+    def test_strike_at_zero_equals_static_failure(self):
+        """Failing at t=0 is the same trial as a pre-failed cluster."""
+        static = run_simulation(config(failure_time=None))
+        dynamic = run_simulation(config(failure_time=0.0))
+        assert static.failed_nodes == dynamic.failed_nodes
+        assert static.job(0).runtime == pytest.approx(dynamic.job(0).runtime)
+
+    def test_late_strike_equals_normal_mode(self):
+        """Failing after the job finished changes nothing."""
+        normal = run_simulation(config(failure=FailurePattern.NONE))
+        late = run_simulation(config(failure_time=1e6))
+        assert late.job(0).runtime == pytest.approx(normal.job(0).runtime)
+        assert late.job(0).degraded_task_count == 0
+
+    def test_later_strikes_produce_fewer_degraded_tasks(self):
+        counts = []
+        for failure_time in (0.0, 40.0, 80.0):
+            result = run_simulation(config(failure_time=failure_time))
+            counts.append(result.job(0).degraded_task_count)
+        assert counts[0] >= counts[1] >= counts[2]
+
+    def test_no_completed_task_on_failed_node_after_strike(self):
+        strike = 50.0
+        result = run_simulation(config(failure_time=strike))
+        (dead,) = result.failed_nodes
+        for task in result.job(0).tasks:
+            if task.slave_id == dead:
+                assert task.finish_time <= strike + 1e-9
+
+    def test_degraded_tasks_only_after_strike(self):
+        strike = 50.0
+        result = run_simulation(config(failure_time=strike))
+        degraded = result.job(0).tasks_of(MapTaskCategory.DEGRADED)
+        assert all(task.launch_time >= strike for task in degraded)
+
+    def test_runtime_between_normal_and_static_failure(self):
+        normal = run_simulation(config(failure=FailurePattern.NONE)).job(0).runtime
+        static = run_simulation(config(failure_time=None)).job(0).runtime
+        mid = run_simulation(config(failure_time=60.0)).job(0).runtime
+        assert normal <= mid + 1e-9
+        # A late strike loses less work than a strike before launch.
+        assert mid <= static * 1.35
+
+    def test_multi_job_with_midrun_failure(self):
+        jobs = tuple(
+            JobConfig(num_blocks=32, num_reduce_tasks=2, submit_time=i * 30.0)
+            for i in range(2)
+        )
+        result = run_simulation(config(failure_time=45.0, jobs=jobs))
+        for job_id in range(2):
+            job = result.job(job_id)
+            maps = [t for t in job.tasks if t.kind is TaskKind.MAP]
+            assert len(maps) == 32
+
+    def test_negative_failure_time_rejected(self):
+        with pytest.raises(ValueError):
+            config(failure_time=-1.0)

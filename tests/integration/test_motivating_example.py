@@ -1,0 +1,66 @@
+"""The paper's motivating example, asserted event by event (Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig3_motivating import (
+    degraded_first_schedule,
+    locality_first_schedule,
+    map_phase_duration,
+    run_schedule,
+)
+
+
+class TestLocalityFirstTimeline:
+    @pytest.fixture(scope="class")
+    def timings(self):
+        return run_schedule(locality_first_schedule())
+
+    def test_map_phase_is_40s(self, timings):
+        assert map_phase_duration(timings) == pytest.approx(40.0)
+
+    def test_locals_finish_by_10s(self, timings):
+        locals_ = [t for t in timings if t.download_done == t.launch]
+        assert len(locals_) == 8
+        assert all(t.finish == pytest.approx(10.0) for t in locals_)
+
+    def test_degraded_start_after_locals(self, timings):
+        degraded = [t for t in timings if t.download_done > t.launch]
+        assert len(degraded) == 4
+        assert all(t.launch == pytest.approx(10.0) for t in degraded)
+
+    def test_rack0_downloads_contend(self, timings):
+        """Nodes 2 and 3 (ids 1, 2) halve each other's bandwidth: 20 s."""
+        for node_id in (1, 2):
+            (task,) = [t for t in timings if t.node == node_id and t.download_done > t.launch]
+            assert task.download_done - task.launch == pytest.approx(20.0)
+
+    def test_rack1_downloads_uncontended(self, timings):
+        for node_id in (3, 4):
+            (task,) = [t for t in timings if t.node == node_id and t.download_done > t.launch]
+            assert task.download_done - task.launch == pytest.approx(10.0)
+
+
+class TestDegradedFirstTimeline:
+    @pytest.fixture(scope="class")
+    def timings(self):
+        return run_schedule(degraded_first_schedule())
+
+    def test_map_phase_is_30s(self, timings):
+        assert map_phase_duration(timings) == pytest.approx(30.0)
+
+    def test_no_download_contention(self, timings):
+        degraded = [t for t in timings if t.download_done > t.launch]
+        assert len(degraded) == 4
+        for task in degraded:
+            assert task.download_done - task.launch == pytest.approx(10.0)
+
+    def test_early_degraded_tasks_start_at_zero(self, timings):
+        early = [t for t in timings if t.download_done > t.launch and t.launch == 0.0]
+        assert len(early) == 2
+
+    def test_saving_is_25_percent(self):
+        lf = map_phase_duration(run_schedule(locality_first_schedule()))
+        df = map_phase_duration(run_schedule(degraded_first_schedule()))
+        assert (lf - df) / lf == pytest.approx(0.25)

@@ -1,0 +1,69 @@
+"""Multi-job FIFO scheduling integration tests (Figure 7(f) mechanics)."""
+
+from __future__ import annotations
+
+from repro.cluster.failures import FailurePattern
+from repro.cluster.network import MB
+from repro.ec.codec import CodeParams
+from repro.mapreduce.config import JobConfig, SimulationConfig
+from repro.mapreduce.simulation import run_simulation
+
+
+def multi_config(num_jobs=3, interval=50.0, scheduler="EDF", seed=3) -> SimulationConfig:
+    jobs = tuple(
+        JobConfig(num_blocks=48, num_reduce_tasks=2, submit_time=index * interval)
+        for index in range(num_jobs)
+    )
+    return SimulationConfig(
+        num_nodes=8,
+        num_racks=2,
+        map_slots=2,
+        code=CodeParams(4, 2),
+        block_size=32 * MB,
+        jobs=jobs,
+        scheduler=scheduler,
+        seed=seed,
+    )
+
+
+class TestMultiJob:
+    def test_all_jobs_complete(self):
+        result = run_simulation(multi_config())
+        assert set(result.jobs) == {0, 1, 2}
+        for job_id in range(3):
+            job = result.job(job_id)
+            assert len(job.tasks) == 50
+            assert job.finish_time > job.first_launch_time
+
+    def test_fifo_finish_order(self):
+        """With identical jobs and FIFO slots, finishes follow submit order."""
+        result = run_simulation(multi_config(interval=100.0))
+        finishes = [result.job(job_id).finish_time for job_id in range(3)]
+        assert finishes == sorted(finishes)
+
+    def test_first_launch_not_before_submit(self):
+        result = run_simulation(multi_config())
+        for job_id in range(3):
+            job = result.job(job_id)
+            assert job.first_launch_time >= job.submit_time
+
+    def test_queueing_inflates_makespan(self):
+        """Jobs submitted together queue behind each other."""
+        contended = run_simulation(multi_config(interval=0.0))
+        makespans = [contended.job(job_id).makespan for job_id in range(3)]
+        # The last job's makespan includes waiting behind the first two.
+        assert makespans[2] > makespans[0]
+
+    def test_degraded_first_helps_every_job(self):
+        lf = run_simulation(multi_config(scheduler="LF"))
+        edf = run_simulation(multi_config(scheduler="EDF"))
+        lf_total = sum(lf.job(j).runtime for j in range(3))
+        edf_total = sum(edf.job(j).runtime for j in range(3))
+        assert edf_total < lf_total
+
+    def test_normal_mode_multi_job(self):
+        result = run_simulation(
+            multi_config().with_failure(FailurePattern.NONE)
+        )
+        for job_id in range(3):
+            assert result.job(job_id).degraded_task_count == 0

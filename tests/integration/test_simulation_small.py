@@ -1,0 +1,167 @@
+"""End-to-end simulation tests on small clusters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.failures import FailurePattern
+from repro.cluster.network import MB, mbps
+from repro.ec.codec import CodeParams
+from repro.mapreduce.config import JobConfig, SimulationConfig
+from repro.mapreduce.job import MapTaskCategory, TaskKind
+from repro.mapreduce.simulation import run_simulation
+
+
+def small_config(**overrides) -> SimulationConfig:
+    defaults = dict(
+        num_nodes=8,
+        num_racks=2,
+        map_slots=2,
+        code=CodeParams(4, 2),
+        block_size=64 * MB,
+        rack_bandwidth=mbps(1000),
+        jobs=(JobConfig(num_blocks=64, num_reduce_tasks=4),),
+        scheduler="LF",
+        seed=11,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("scheduler", ["LF", "BDF", "EDF"])
+    def test_every_task_runs_exactly_once(self, scheduler):
+        result = run_simulation(small_config(scheduler=scheduler))
+        job = result.job(0)
+        maps = [t for t in job.tasks if t.kind is TaskKind.MAP]
+        reduces = [t for t in job.tasks if t.kind is TaskKind.REDUCE]
+        assert len(maps) == 64
+        assert len(reduces) == 4
+
+    def test_degraded_count_matches_lost_blocks(self):
+        result = run_simulation(small_config())
+        job = result.job(0)
+        degraded = job.tasks_of(MapTaskCategory.DEGRADED)
+        # One failed node; every degraded task is for one of its blocks.
+        assert job.degraded_task_count == len(degraded)
+        assert all(t.download_time > 0 for t in degraded)
+
+    def test_no_tasks_on_failed_node(self):
+        result = run_simulation(small_config())
+        (failed,) = result.failed_nodes
+        assert all(task.slave_id != failed for task in result.job(0).tasks)
+
+    def test_times_are_ordered(self):
+        result = run_simulation(small_config())
+        job = result.job(0)
+        for task in job.tasks:
+            assert task.finish_time >= task.launch_time >= 0.0
+        assert job.finish_time >= max(t.finish_time for t in job.tasks) - 1e-9
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        first = run_simulation(small_config(scheduler="EDF"))
+        second = run_simulation(small_config(scheduler="EDF"))
+        assert first.job(0).runtime == second.job(0).runtime
+        assert first.failed_nodes == second.failed_nodes
+
+    def test_different_seed_differs(self):
+        first = run_simulation(small_config())
+        second = run_simulation(small_config(seed=12))
+        assert (
+            first.job(0).runtime != second.job(0).runtime
+            or first.failed_nodes != second.failed_nodes
+        )
+
+
+class TestSchedulerOrdering:
+    def test_degraded_first_beats_locality_first(self):
+        """Averaged over seeds, BDF and EDF beat LF in failure mode."""
+        lf_total = bdf_total = edf_total = 0.0
+        for seed in range(4):
+            lf_total += run_simulation(small_config(seed=seed)).job(0).runtime
+            bdf_total += run_simulation(small_config(seed=seed, scheduler="BDF")).job(0).runtime
+            edf_total += run_simulation(small_config(seed=seed, scheduler="EDF")).job(0).runtime
+        assert bdf_total < lf_total
+        assert edf_total < lf_total
+
+    def test_degraded_read_time_reduced(self):
+        lf = run_simulation(small_config())
+        edf = run_simulation(small_config(scheduler="EDF"))
+        assert edf.job(0).mean_degraded_read_time() < lf.job(0).mean_degraded_read_time()
+
+    def test_failure_mode_slower_than_normal(self):
+        failure = run_simulation(small_config())
+        normal = run_simulation(small_config(failure=FailurePattern.NONE))
+        assert failure.job(0).runtime > normal.job(0).runtime
+
+    def test_normal_mode_has_no_degraded_tasks(self):
+        normal = run_simulation(small_config(failure=FailurePattern.NONE))
+        assert normal.job(0).degraded_task_count == 0
+
+    def test_normal_mode_scheduler_equivalence(self):
+        """Without failures, degraded-first degenerates to locality-first."""
+        runtimes = {
+            scheduler: run_simulation(
+                small_config(failure=FailurePattern.NONE, scheduler=scheduler)
+            ).job(0).runtime
+            for scheduler in ("LF", "BDF", "EDF")
+        }
+        assert runtimes["LF"] == runtimes["BDF"] == runtimes["EDF"]
+
+
+class TestShuffleConservation:
+    def test_every_shuffled_byte_is_fetched(self):
+        result = run_simulation(small_config())
+        deposited, drained = result.shuffle_totals[0]
+        assert deposited == pytest.approx(drained)
+
+    def test_deposited_matches_map_emission(self):
+        config = small_config()
+        result = run_simulation(config)
+        deposited, _ = result.shuffle_totals[0]
+        job = config.jobs[0]
+        expected = job.num_blocks * config.block_size * job.shuffle_ratio
+        assert deposited == pytest.approx(expected)
+
+    def test_map_only_job_shuffles_nothing(self):
+        config = small_config(
+            jobs=(JobConfig(num_blocks=16, num_reduce_tasks=0, shuffle_ratio=0.0),)
+        )
+        result = run_simulation(config)
+        assert result.shuffle_totals[0] == (0.0, 0.0)
+
+
+class TestMapOnlyJob:
+    def test_map_only_completes(self):
+        config = small_config(
+            jobs=(JobConfig(num_blocks=32, num_reduce_tasks=0, shuffle_ratio=0.0),)
+        )
+        result = run_simulation(config)
+        job = result.job(0)
+        assert all(task.kind is TaskKind.MAP for task in job.tasks)
+        assert len(job.tasks) == 32
+
+
+class TestNetworkModels:
+    @pytest.mark.parametrize("model", ["fluid", "exclusive"])
+    def test_both_models_complete(self, model):
+        result = run_simulation(small_config(network_model=model))
+        assert len(result.job(0).tasks) == 68
+
+    def test_exclusive_not_faster_on_contended_tail(self):
+        """Hold-the-link serialisation cannot beat fair sharing by much."""
+        fluid = run_simulation(small_config(network_model="fluid"))
+        exclusive = run_simulation(small_config(network_model="exclusive"))
+        assert exclusive.job(0).runtime >= 0.8 * fluid.job(0).runtime
+
+
+class TestHeterogeneous:
+    def test_slow_nodes_slow_the_job(self):
+        fast = run_simulation(small_config(failure=FailurePattern.NONE))
+        slow_factors = tuple(0.5 if index < 4 else 1.0 for index in range(8))
+        slow = run_simulation(
+            small_config(failure=FailurePattern.NONE, speed_factors=slow_factors)
+        )
+        assert slow.job(0).runtime > fast.job(0).runtime

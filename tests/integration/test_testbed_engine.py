@@ -1,0 +1,99 @@
+"""Integration tests for the functional testbed engine.
+
+These run a real (small) MapReduce over erasure-coded bytes with an
+emulated network and check the one property no simulator can: the computed
+*output* is byte-for-byte correct, failure or no failure, under every
+scheduler.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.mapreduce.job import MapTaskCategory, TaskKind
+from repro.testbed.engine import TestbedCluster, TestbedConfig
+from repro.testbed.jobs import GrepJob, LineCountJob, WordCountJob
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    config = TestbedConfig(
+        num_blocks=36,
+        block_size=64 * 1024,
+        rack_bandwidth=16 * 1024 * 1024,
+        map_processing_rate=2 * 1024 * 1024,
+        heartbeat_interval=0.01,
+        seed=4,
+    )
+    return TestbedCluster(config)
+
+
+@pytest.fixture(scope="module")
+def failed(cluster):
+    return cluster.kill_node()
+
+
+@pytest.fixture(scope="module")
+def text(cluster):
+    return cluster.corpus.decode()
+
+
+class TestCorrectness:
+    def test_wordcount_no_failure(self, cluster, text):
+        result = cluster.run_job(WordCountJob(), scheduler="LF")
+        assert result.output == dict(Counter(text.split()))
+
+    @pytest.mark.parametrize("scheduler", ["LF", "BDF", "EDF"])
+    def test_wordcount_under_failure(self, cluster, failed, text, scheduler):
+        result = cluster.run_job(WordCountJob(), scheduler=scheduler, failed_nodes=failed)
+        assert result.output == dict(Counter(text.split()))
+
+    def test_grep_under_failure(self, cluster, failed, text):
+        result = cluster.run_job(GrepJob("the"), scheduler="EDF", failed_nodes=failed)
+        expected = Counter(
+            line for line in text.splitlines() if "the" in line.split()
+        )
+        assert result.output == dict(expected)
+
+    def test_linecount_under_failure(self, cluster, failed, text):
+        result = cluster.run_job(LineCountJob(), scheduler="EDF", failed_nodes=failed)
+        assert result.output == dict(Counter(text.splitlines()))
+
+
+class TestExecutionShape:
+    def test_task_counts(self, cluster, failed):
+        result = cluster.run_job(WordCountJob(), scheduler="EDF", failed_nodes=failed)
+        maps = [t for t in result.tasks if t.kind is TaskKind.MAP]
+        reduces = [t for t in result.tasks if t.kind is TaskKind.REDUCE]
+        assert len(maps) == cluster.fs.block_map.num_native_blocks
+        assert len(reduces) == cluster.config.num_reduce_tasks
+
+    def test_degraded_tasks_only_for_lost_blocks(self, cluster, failed):
+        result = cluster.run_job(WordCountJob(), scheduler="EDF", failed_nodes=failed)
+        lost = len(cluster.fs.block_map.lost_native_blocks(failed))
+        degraded = [t for t in result.tasks if t.category is MapTaskCategory.DEGRADED]
+        assert len(degraded) == lost
+
+    def test_no_tasks_on_failed_node(self, cluster, failed):
+        result = cluster.run_job(WordCountJob(), scheduler="EDF", failed_nodes=failed)
+        (dead,) = failed
+        assert all(task.slave_id != dead for task in result.tasks)
+
+    def test_runtime_positive_and_bounded(self, cluster, failed):
+        result = cluster.run_job(WordCountJob(), scheduler="EDF", failed_nodes=failed)
+        assert 0.0 < result.runtime < 120.0
+
+
+class TestMultiJobBatch:
+    def test_three_jobs_fifo(self, cluster, failed, text):
+        jobs = [WordCountJob(), GrepJob("water"), LineCountJob()]
+        results = cluster.run_jobs(jobs, scheduler="EDF", failed_nodes=failed)
+        assert [r.job_name for r in results] == ["WordCount", "Grep", "LineCount"]
+        assert results[0].output == dict(Counter(text.split()))
+        assert results[2].output == dict(Counter(text.splitlines()))
+
+    def test_empty_job_list_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.run_jobs([], scheduler="LF")

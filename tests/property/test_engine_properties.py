@@ -1,0 +1,87 @@
+"""Property-based tests of the discrete-event engine's ordering guarantees."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator, Timeout
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30))
+def test_callbacks_fire_in_time_order(delays):
+    sim = Simulator()
+    fired: list[float] = []
+    for delay in delays:
+        sim.call_in(delay, lambda delay=delay: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert sim.now == max(delays)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=50.0), min_size=1, max_size=20))
+def test_processes_accumulate_timeouts_exactly(delays):
+    sim = Simulator()
+    finish: list[float] = []
+
+    def worker():
+        for delay in delays:
+            yield Timeout(delay)
+        finish.append(sim.now)
+
+    sim.spawn(worker())
+    sim.run()
+    assert finish[0] == sum(delays)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=20.0),
+            st.floats(min_value=0.0, max_value=20.0),
+        ),
+        min_size=1,
+        max_size=15,
+    )
+)
+def test_interleaved_processes_are_deterministic(plans):
+    """Two identical runs produce identical event logs."""
+
+    def execute():
+        sim = Simulator()
+        log: list[tuple[int, float]] = []
+
+        def worker(index, first, second):
+            yield Timeout(first)
+            log.append((index, sim.now))
+            yield Timeout(second)
+            log.append((index, sim.now))
+
+        for index, (first, second) in enumerate(plans):
+            sim.spawn(worker(index, first, second))
+        sim.run()
+        return log
+
+    assert execute() == execute()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=25))
+def test_event_fanout_wakes_every_waiter(count):
+    sim = Simulator()
+    gate = sim.event()
+    woken: list[int] = []
+
+    def waiter(index):
+        yield gate
+        woken.append(index)
+
+    for index in range(count):
+        sim.spawn(waiter(index))
+    sim.call_in(1.0, gate.succeed)
+    sim.run()
+    assert sorted(woken) == list(range(count))
+    assert woken == list(range(count))  # FIFO wake order

@@ -1,0 +1,101 @@
+"""Property-based tests of the fluid network's conservation laws."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator, Timeout
+from repro.sim.resources import ExclusivePathNetwork, FluidNetwork
+
+
+@st.composite
+def flow_plan(draw):
+    """Random links, flows (with paths over those links) and start times."""
+    num_links = draw(st.integers(min_value=1, max_value=4))
+    capacities = [
+        draw(st.floats(min_value=1.0, max_value=100.0)) for _ in range(num_links)
+    ]
+    num_flows = draw(st.integers(min_value=1, max_value=6))
+    flows = []
+    for _ in range(num_flows):
+        path = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_links - 1),
+                min_size=1,
+                max_size=num_links,
+                unique=True,
+            )
+        )
+        size = draw(st.floats(min_value=1.0, max_value=500.0))
+        start = draw(st.floats(min_value=0.0, max_value=50.0))
+        flows.append((path, size, start))
+    return capacities, flows
+
+
+def run_plan(network_cls, capacities, flows):
+    sim = Simulator()
+    network = network_cls(sim)
+    for index, capacity in enumerate(capacities):
+        network.add_link(f"l{index}", capacity)
+    completions = {}
+
+    def launch(label, path, size, start):
+        def process():
+            yield Timeout(start)
+            done = network.transfer([f"l{i}" for i in path], size)
+            yield done
+            completions[label] = sim.now
+
+        sim.spawn(process())
+
+    for label, (path, size, start) in enumerate(flows):
+        launch(label, path, size, start)
+    sim.run(until=1e7)
+    return completions
+
+
+@settings(max_examples=40, deadline=None)
+@given(flow_plan())
+def test_all_flows_complete(plan):
+    capacities, flows = plan
+    completions = run_plan(FluidNetwork, capacities, flows)
+    assert len(completions) == len(flows)
+
+
+@settings(max_examples=40, deadline=None)
+@given(flow_plan())
+def test_no_flow_beats_its_uncontended_time(plan):
+    """A flow can never finish faster than size / bottleneck-capacity."""
+    capacities, flows = plan
+    completions = run_plan(FluidNetwork, capacities, flows)
+    for label, (path, size, start) in enumerate(flows):
+        bottleneck = min(capacities[i] for i in path)
+        assert completions[label] >= start + size / bottleneck - 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(flow_plan())
+def test_link_work_conservation(plan):
+    """A single-link system finishes no later than total-bytes/capacity
+    after the last arrival (the link is never idle while work remains)."""
+    capacities, flows = plan
+    if len(capacities) != 1:
+        capacities = capacities[:1]
+        flows = [([0], size, start) for _path, size, start in flows]
+    completions = run_plan(FluidNetwork, capacities, flows)
+    total = sum(size for _path, size, _start in flows)
+    last_arrival = max(start for _path, _size, start in flows)
+    upper_bound = last_arrival + total / capacities[0] + 1e-6
+    assert max(completions.values()) <= upper_bound
+
+
+@settings(max_examples=25, deadline=None)
+@given(flow_plan())
+def test_exclusive_never_faster_than_uncontended(plan):
+    capacities, flows = plan
+    completions = run_plan(ExclusivePathNetwork, capacities, flows)
+    assert len(completions) == len(flows)
+    for label, (path, size, start) in enumerate(flows):
+        bottleneck = min(capacities[i] for i in path)
+        assert completions[label] >= start + size / bottleneck - 1e-6

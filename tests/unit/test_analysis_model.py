@@ -1,0 +1,106 @@
+"""Unit tests for the Section IV-B analytical model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.model import AnalysisParams, AnalyticalModel
+from repro.analysis.sweep import sweep_bandwidth, sweep_blocks, sweep_code
+from repro.cluster.network import MB, gbps, mbps
+from repro.ec.codec import CodeParams
+
+
+class TestParams:
+    def test_defaults_match_paper(self):
+        params = AnalysisParams()
+        assert params.num_nodes == 40
+        assert params.num_racks == 4
+        assert params.map_slots == 4
+        assert params.map_time == 20.0
+        assert params.code == CodeParams(16, 12)
+        assert params.num_blocks == 1440
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AnalysisParams(num_nodes=1)
+        with pytest.raises(ValueError):
+            AnalysisParams(map_slots=0)
+        with pytest.raises(ValueError):
+            AnalysisParams(num_blocks=0)
+
+
+class TestFormulas:
+    def test_normal_mode(self):
+        model = AnalyticalModel(AnalysisParams())
+        # F*T/(N*L) = 1440*20/160 = 180 s.
+        assert model.normal_mode_runtime() == pytest.approx(180.0)
+
+    def test_degraded_read_time(self):
+        model = AnalyticalModel(AnalysisParams())
+        # (R-1)*k*S/(R*W) = 3*12*128MB / (4*1Gbps).
+        expected = 3 * 12 * 128 * MB / (4 * gbps(1))
+        assert model.expected_degraded_read_time() == pytest.approx(expected)
+
+    def test_locality_first_formula(self):
+        model = AnalyticalModel(AnalysisParams())
+        expected = (
+            model.normal_mode_runtime()
+            + model.total_degraded_read_time_per_rack()
+            + 20.0
+        )
+        assert model.locality_first_runtime() == pytest.approx(expected)
+
+    def test_degraded_first_is_max_of_cases(self):
+        params = AnalysisParams()
+        model = AnalyticalModel(params)
+        compute_bound = 1440 * 20 / (39 * 4) + 20
+        network_bound = model.total_degraded_read_time_per_rack() + 20
+        assert model.degraded_first_runtime() == pytest.approx(
+            max(compute_bound, network_bound)
+        )
+
+    def test_df_never_exceeds_lf(self):
+        for code in (CodeParams(8, 6), CodeParams(16, 12), CodeParams(20, 15)):
+            for bandwidth in (mbps(100), mbps(500), gbps(1)):
+                model = AnalyticalModel(
+                    AnalysisParams(code=code, rack_bandwidth=bandwidth)
+                )
+                assert model.degraded_first_runtime() <= model.locality_first_runtime() + 1e-9
+
+    def test_reduction_in_paper_range(self):
+        """The paper reports 15%-43% reductions over its sweeps."""
+        for point in sweep_code() + sweep_blocks() + sweep_bandwidth():
+            assert 0.10 <= point.reduction <= 0.50
+
+
+class TestSweepShapes:
+    def test_fig5a_lf_grows_with_k(self):
+        points = sweep_code()
+        lf_values = [point.normalized_lf for point in points]
+        assert lf_values == sorted(lf_values)
+
+    def test_fig5a_df_flat(self):
+        """All degraded reads finish in one round at 1 Gbps: DF is flat."""
+        points = sweep_code()
+        df_values = {round(point.normalized_df, 6) for point in points}
+        assert len(df_values) == 1
+
+    def test_fig5b_normalized_decreases_with_blocks(self):
+        points = sweep_blocks()
+        lf = [point.normalized_lf for point in points]
+        df = [point.normalized_df for point in points]
+        assert lf == sorted(lf, reverse=True)
+        assert df == sorted(df, reverse=True)
+
+    def test_fig5c_df_saturates(self):
+        """DF's runtime is identical at 500 Mbps and 1 Gbps (paper text)."""
+        points = sweep_bandwidth()
+        by_label = {point.label: point for point in points}
+        assert by_label["500Mbps"].normalized_df == pytest.approx(
+            by_label["1000Mbps"].normalized_df
+        )
+
+    def test_fig5c_lf_improves_with_bandwidth(self):
+        points = sweep_bandwidth()
+        lf = [point.normalized_lf for point in points]
+        assert lf == sorted(lf, reverse=True)

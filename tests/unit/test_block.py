@@ -1,0 +1,49 @@
+"""Unit tests for block identities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ec.stripe import BlockKind
+from repro.storage.block import BlockId, StoredBlock
+
+
+class TestBlockId:
+    def test_native_classification(self):
+        block = BlockId(stripe_id=2, position=1, k=2)
+        assert block.kind is BlockKind.NATIVE
+        assert block.is_native
+        assert block.native_index == 5
+        assert str(block) == "B_{2,1}"
+
+    def test_parity_classification(self):
+        block = BlockId(stripe_id=0, position=2, k=2)
+        assert block.kind is BlockKind.PARITY
+        assert not block.is_native
+        assert str(block) == "P_{0,0}"
+
+    def test_parity_has_no_native_index(self):
+        block = BlockId(stripe_id=0, position=3, k=2)
+        with pytest.raises(ValueError):
+            _ = block.native_index
+
+    def test_negative_coordinates(self):
+        with pytest.raises(ValueError):
+            BlockId(stripe_id=-1, position=0, k=2)
+
+    def test_ordering(self):
+        a = BlockId(stripe_id=0, position=1, k=2)
+        b = BlockId(stripe_id=1, position=0, k=2)
+        assert a < b
+
+    def test_hashable(self):
+        a = BlockId(stripe_id=0, position=1, k=2)
+        b = BlockId(stripe_id=0, position=1, k=2)
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestStoredBlock:
+    def test_str(self):
+        stored = StoredBlock(block=BlockId(stripe_id=1, position=2, k=2), node_id=7)
+        assert str(stored) == "P_{1,0}@node7"

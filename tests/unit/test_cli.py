@@ -1,0 +1,94 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig3", "fig5", "fig7", "fig8", "fig9", "table1"):
+            assert name in out
+
+
+class TestRun:
+    def test_run_fig3(self, capsys):
+        assert main(["run", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "40 s" in out and "30 s" in out
+
+    def test_run_fig5(self, capsys):
+        assert main(["run", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5(a)" in out
+
+    def test_run_unknown(self):
+        with pytest.raises(ValueError):
+            main(["run", "fig99"])
+
+
+class TestSimulate:
+    def test_small_simulation(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--nodes", "8", "--racks", "2", "--code", "4,2",
+                "--blocks", "48", "--scheduler", "LF", "--seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "runtime:" in out
+        assert "degraded tasks:" in out
+
+    def test_bad_code_argument(self, capsys):
+        assert main(["simulate", "--code", "oops"]) == 2
+
+    def test_timeline_flag(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--nodes", "6", "--racks", "2", "--code", "4,2",
+                "--blocks", "24", "--seed", "2", "--timeline",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "timeline [" in out
+        assert "node " in out
+
+    def test_json_export(self, capsys, tmp_path):
+        target = tmp_path / "trace.json"
+        code = main(
+            [
+                "simulate",
+                "--nodes", "6", "--racks", "2", "--code", "4,2",
+                "--blocks", "24", "--seed", "2", "--json", str(target),
+            ]
+        )
+        assert code == 0
+        import json
+
+        payload = json.loads(target.read_text())
+        assert payload["scheduler"] == "EDF"
+        assert len(payload["tasks"]) > 0
+
+    def test_failure_time_flag(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--nodes", "6", "--racks", "2", "--code", "4,2",
+                "--blocks", "24", "--seed", "2", "--failure-time", "1e9",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "degraded tasks: 0" in out  # strike after completion
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,70 @@
+"""Unit tests for simulation configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.failures import FailurePattern
+from repro.ec.codec import CodeParams
+from repro.mapreduce.config import JobConfig, SimulationConfig
+
+
+class TestJobConfig:
+    def test_defaults_match_paper(self):
+        job = JobConfig()
+        assert job.num_blocks == 1440
+        assert job.map_time_mean == 20.0
+        assert job.reduce_time_mean == 30.0
+        assert job.num_reduce_tasks == 30
+        assert job.shuffle_ratio == 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobConfig(num_blocks=0)
+        with pytest.raises(ValueError):
+            JobConfig(num_reduce_tasks=-1)
+        with pytest.raises(ValueError):
+            JobConfig(shuffle_ratio=-0.1)
+        with pytest.raises(ValueError):
+            JobConfig(submit_time=-1.0)
+
+
+class TestSimulationConfig:
+    def test_defaults_match_paper(self):
+        config = SimulationConfig()
+        assert config.num_nodes == 40
+        assert config.num_racks == 4
+        assert config.map_slots == 4
+        assert config.code == CodeParams(20, 15)
+        assert config.heartbeat_interval == 3.0
+        assert config.failure is FailurePattern.SINGLE_NODE
+
+    def test_unknown_scheduler(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(scheduler="FIFO")
+
+    def test_bad_cluster(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(num_nodes=1)
+        with pytest.raises(ValueError):
+            SimulationConfig(heartbeat_interval=0)
+
+    def test_speed_factor_count(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(num_nodes=4, num_racks=2, speed_factors=(1.0,))
+
+    def test_with_helpers(self):
+        config = SimulationConfig()
+        assert config.with_scheduler("LF").scheduler == "LF"
+        assert config.with_seed(9).seed == 9
+        assert config.with_failure(FailurePattern.RACK).failure is FailurePattern.RACK
+        # original untouched (frozen dataclass copies)
+        assert config.scheduler == "EDF"
+
+    def test_network_spec(self):
+        spec = SimulationConfig().network_spec()
+        assert spec.rack_download_bw == SimulationConfig().rack_bandwidth
+
+    def test_total_blocks(self):
+        config = SimulationConfig(jobs=(JobConfig(num_blocks=10), JobConfig(num_blocks=20)))
+        assert config.total_blocks == 30

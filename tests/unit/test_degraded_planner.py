@@ -1,0 +1,104 @@
+"""Unit tests for the degraded-read planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.ec.codec import CodeParams
+from repro.sim.rng import RngStreams
+from repro.storage.degraded import DegradedReadPlanner, SourceSelection
+from repro.storage.hdfs import HdfsRaidCluster
+
+
+@pytest.fixture
+def cluster(rng):
+    topology = ClusterTopology.from_rack_sizes([3, 3, 3])
+    return HdfsRaidCluster(
+        topology, CodeParams(6, 4), num_native_blocks=24, placement="random", rng=rng
+    )
+
+
+class TestPlan:
+    def test_plan_has_k_sources(self, cluster, rng):
+        failed = frozenset({0})
+        lost = cluster.block_map.lost_native_blocks(failed)
+        if not lost:
+            pytest.skip("seeded placement put no natives on node 0")
+        plan = cluster.planner.plan(lost[0], reader_node=1, failed_nodes=failed, rng=rng)
+        assert len(plan.sources) == 4
+
+    def test_sources_exclude_failed_and_lost(self, cluster, rng):
+        failed = frozenset({0})
+        lost = cluster.block_map.lost_native_blocks(failed)
+        if not lost:
+            pytest.skip("seeded placement put no natives on node 0")
+        plan = cluster.planner.plan(lost[0], reader_node=1, failed_nodes=failed, rng=rng)
+        for source in plan.sources:
+            assert source.node_id != 0
+            assert source.block != lost[0]
+
+    def test_insufficient_survivors(self, rng):
+        topology = ClusterTopology.from_rack_sizes([3, 3, 3])
+        cluster = HdfsRaidCluster(
+            topology, CodeParams(6, 4), num_native_blocks=8, placement="random", rng=rng
+        )
+        block = cluster.block_map.native_blocks()[0]
+        stripe_nodes = {s.node_id for s in cluster.block_map.stripe_blocks(block.stripe_id)}
+        # Fail 3 of the stripe's nodes: only 3 survivors < k=4.
+        failed = frozenset(list(stripe_nodes)[:3])
+        planner = cluster.planner
+        with pytest.raises(RuntimeError):
+            planner.plan(block, reader_node=7, failed_nodes=failed, rng=rng)
+
+
+class TestSelectionPolicies:
+    def test_rack_local_first_prefers_reader_rack(self, rng):
+        topology = ClusterTopology.from_rack_sizes([3, 3, 3])
+        cluster = HdfsRaidCluster(
+            topology,
+            CodeParams(6, 4),
+            num_native_blocks=24,
+            placement="random",
+            rng=rng,
+            source_selection=SourceSelection.RACK_LOCAL_FIRST,
+        )
+        failed = frozenset({0})
+        lost = cluster.block_map.lost_native_blocks(failed)
+        if not lost:
+            pytest.skip("seeded placement put no natives on node 0")
+        block = lost[0]
+        reader = 1
+        plan = cluster.planner.plan(block, reader, failed, rng)
+        survivors = [
+            s
+            for s in cluster.block_map.surviving_stripe_blocks(block.stripe_id, failed)
+            if s.block != block
+        ]
+        local_available = sum(
+            1 for s in survivors if topology.rack_of(s.node_id) == topology.rack_of(reader)
+        )
+        chosen_local = len(plan.same_rack_sources(topology))
+        assert chosen_local == min(local_available, 4)
+
+    def test_random_selection_deterministic_per_stream(self, cluster):
+        failed = frozenset({0})
+        lost = cluster.block_map.lost_native_blocks(failed)
+        if not lost:
+            pytest.skip("seeded placement put no natives on node 0")
+        first = cluster.planner.plan(lost[0], 1, failed, RngStreams(3))
+        second = cluster.planner.plan(lost[0], 1, failed, RngStreams(3))
+        assert first == second
+
+
+class TestPlanQueries:
+    def test_cross_and_same_rack_partition(self, cluster, rng):
+        topology = cluster.topology
+        failed = frozenset({0})
+        lost = cluster.block_map.lost_native_blocks(failed)
+        if not lost:
+            pytest.skip("seeded placement put no natives on node 0")
+        plan = cluster.planner.plan(lost[0], 1, failed, rng)
+        cross = plan.cross_rack_sources(topology)
+        same = plan.same_rack_sources(topology)
+        assert len(cross) + len(same) == len(plan.sources)

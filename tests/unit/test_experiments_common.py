@@ -1,0 +1,90 @@
+"""Unit tests for the shared experiment plumbing."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cluster.network import MB
+from repro.ec.codec import CodeParams
+from repro.experiments.common import (
+    ExperimentTable,
+    default_seeds,
+    max_workers,
+    normalized_runtimes,
+    run_failure_and_normal,
+)
+from repro.mapreduce.config import JobConfig, SimulationConfig
+
+
+def tiny_config() -> SimulationConfig:
+    return SimulationConfig(
+        num_nodes=6,
+        num_racks=2,
+        map_slots=2,
+        code=CodeParams(4, 2),
+        block_size=16 * MB,
+        jobs=(JobConfig(num_blocks=24, num_reduce_tasks=2),),
+        seed=0,
+    )
+
+
+class TestEnvKnobs:
+    def test_default_seeds_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEEDS", "7")
+        assert default_seeds() == list(range(7))
+
+    def test_default_seeds_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEEDS", "0")
+        with pytest.raises(ValueError):
+            default_seeds()
+
+    def test_default_seeds_paper(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SEEDS", raising=False)
+        assert len(default_seeds()) == 30
+
+    def test_max_workers_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert max_workers() == 3
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert max_workers() == 1
+
+
+class TestRunFailureAndNormal:
+    def test_grouping(self):
+        grouped = run_failure_and_normal(tiny_config(), ("LF", "EDF"), seeds=[0, 1])
+        assert set(grouped) == {"LF", "EDF", "normal"}
+        for results in grouped.values():
+            assert len(results) == 2
+
+    def test_normal_runs_have_no_failures(self):
+        grouped = run_failure_and_normal(tiny_config(), ("LF",), seeds=[0])
+        assert grouped["normal"][0].failed_nodes == frozenset()
+        assert grouped["LF"][0].failed_nodes != frozenset()
+
+    def test_normalized_runtimes_above_one(self):
+        grouped = run_failure_and_normal(tiny_config(), ("LF",), seeds=[0, 1])
+        normalized = normalized_runtimes(grouped)
+        assert set(normalized) == {"LF"}
+        for value in normalized["LF"]:
+            assert value > 1.0
+
+
+class TestExperimentTable:
+    def test_add_row_and_format(self):
+        table = ExperimentTable("demo")
+        table.add_row("x", {"LF": [1.0, 2.0, 3.0], "EDF": [0.5, 1.0, 1.5]})
+        text = table.format()
+        assert "demo" in text
+        assert "LF: median=2.000" in text
+        assert "EDF: median=1.000" in text
+
+    def test_reduction(self):
+        table = ExperimentTable("demo")
+        table.add_row("x", {"LF": [2.0, 2.0], "EDF": [1.0, 1.0]})
+        assert table.reduction("x", "LF", "EDF") == pytest.approx(0.5)
+
+    def test_notes_rendered(self):
+        table = ExperimentTable("demo", notes=["caveat"])
+        assert "note: caveat" in table.format()

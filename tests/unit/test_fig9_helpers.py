@@ -1,0 +1,50 @@
+"""Unit tests for the Figure 9 / Table I harness helpers."""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.fig9_testbed import default_runs, make_jobs
+from repro.experiments.table1_breakdown import ROWS
+from repro.mapreduce.job import MapTaskCategory, TaskKind
+from repro.mapreduce.metrics import TaskRecord
+from repro.testbed.engine import TestbedJobResult
+
+
+class TestHarnessHelpers:
+    def test_default_runs_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TESTBED_RUNS", "4")
+        assert default_runs() == 4
+
+    def test_make_jobs_order(self):
+        jobs = make_jobs()
+        assert [job.name for job in jobs] == ["WordCount", "Grep", "LineCount"]
+
+    def test_table_rows_cover_paper(self):
+        labels = [label for label, _kind, _cats in ROWS]
+        assert labels == ["Normal map", "Degraded map", "Reduce"]
+
+
+class TestTestbedJobResult:
+    def make_result(self):
+        tasks = [
+            TaskRecord(0, TaskKind.MAP, MapTaskCategory.NODE_LOCAL, 0, 0.0, 0.0, 1.0),
+            TaskRecord(0, TaskKind.MAP, MapTaskCategory.DEGRADED, 1, 0.0, 2.0, 5.0),
+            TaskRecord(0, TaskKind.REDUCE, None, 2, 0.0, 0.0, 9.0),
+        ]
+        return TestbedJobResult(
+            job_name="WordCount", scheduler="EDF", runtime=9.0, tasks=tasks, output={}
+        )
+
+    def test_mean_runtime_by_kind(self):
+        result = self.make_result()
+        assert result.mean_runtime(TaskKind.REDUCE) == 9.0
+        assert result.mean_runtime(TaskKind.MAP) == 3.0
+
+    def test_mean_runtime_by_category(self):
+        result = self.make_result()
+        assert result.mean_runtime(TaskKind.MAP, MapTaskCategory.DEGRADED) == 5.0
+
+    def test_mean_runtime_empty_nan(self):
+        result = self.make_result()
+        assert math.isnan(result.mean_runtime(TaskKind.MAP, MapTaskCategory.REMOTE))

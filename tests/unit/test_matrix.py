@@ -1,0 +1,136 @@
+"""Unit tests for matrices over GF(2^8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ec import matrix as gfm
+
+
+class TestIdentityAndMatmul:
+    def test_identity(self):
+        eye = gfm.identity(3)
+        assert eye.tolist() == [[1, 0, 0], [0, 1, 0], [0, 0, 1]]
+
+    def test_matmul_identity(self):
+        a = np.array([[3, 5], [7, 11]], dtype=np.uint8)
+        assert np.array_equal(gfm.matmul(a, gfm.identity(2)), a)
+        assert np.array_equal(gfm.matmul(gfm.identity(2), a), a)
+
+    def test_matmul_shape_mismatch(self):
+        a = np.zeros((2, 3), dtype=np.uint8)
+        b = np.zeros((2, 3), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            gfm.matmul(a, b)
+
+    def test_matmul_known(self):
+        # Over GF(2^8): [[1,1],[0,1]] * [[1,0],[1,1]] = [[0,1],[1,1]]
+        a = np.array([[1, 1], [0, 1]], dtype=np.uint8)
+        b = np.array([[1, 0], [1, 1]], dtype=np.uint8)
+        assert gfm.matmul(a, b).tolist() == [[0, 1], [1, 1]]
+
+
+class TestInvert:
+    def test_invert_identity(self):
+        assert np.array_equal(gfm.invert(gfm.identity(4)), gfm.identity(4))
+
+    def test_invert_roundtrip(self):
+        a = gfm.vandermonde(8, 8)[1:5, 1:5]  # a 4x4 slice, invertible
+        inverse = gfm.invert(a)
+        assert np.array_equal(gfm.matmul(a, inverse), gfm.identity(4))
+        assert np.array_equal(gfm.matmul(inverse, a), gfm.identity(4))
+
+    def test_singular_raises(self):
+        singular = np.array([[1, 1], [1, 1]], dtype=np.uint8)
+        with pytest.raises(gfm.SingularMatrixError):
+            gfm.invert(singular)
+
+    def test_zero_matrix_raises(self):
+        with pytest.raises(gfm.SingularMatrixError):
+            gfm.invert(np.zeros((3, 3), dtype=np.uint8))
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            gfm.invert(np.zeros((2, 3), dtype=np.uint8))
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_random_invertible_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        while True:
+            candidate = rng.integers(0, 256, size=(3, 3), dtype=np.uint8)
+            try:
+                inverse = gfm.invert(candidate)
+                break
+            except gfm.SingularMatrixError:
+                continue
+        assert np.array_equal(gfm.matmul(candidate, inverse), gfm.identity(3))
+
+
+class TestConstructions:
+    def test_vandermonde_shape_and_first_rows(self):
+        v = gfm.vandermonde(5, 3)
+        assert v.shape == (5, 3)
+        assert v[0].tolist() == [1, 0, 0]  # 0^0=1, 0^1=0, 0^2=0
+        assert v[1].tolist() == [1, 1, 1]
+        assert v[2].tolist() == [1, 2, 4]
+
+    def test_cauchy_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            gfm.cauchy([1, 2], [2, 3])
+
+    def test_cauchy_entries(self):
+        from repro.ec.galois import gf_inv
+
+        c = gfm.cauchy([1, 2], [3, 4])
+        assert c[0, 0] == gf_inv(1 ^ 3)
+        assert c[1, 1] == gf_inv(2 ^ 4)
+
+    def test_cauchy_square_invertible(self):
+        c = gfm.cauchy([1, 2, 3], [4, 5, 6])
+        inverse = gfm.invert(c)
+        assert np.array_equal(gfm.matmul(c, inverse), gfm.identity(3))
+
+    def test_systematic_top_is_identity(self):
+        g = gfm.systematic_encoding_matrix(6, 4)
+        assert np.array_equal(g[:4], gfm.identity(4))
+
+    @pytest.mark.parametrize("n,k", [(4, 2), (6, 4), (9, 6), (14, 10), (20, 15)])
+    def test_systematic_any_k_rows_invertible(self, n, k):
+        """The MDS property: every k-row submatrix must be invertible."""
+        import itertools
+
+        g = gfm.systematic_encoding_matrix(n, k)
+        # Exhaustive for small n, else sample the awkward combinations.
+        combos = list(itertools.combinations(range(n), k))
+        if len(combos) > 60:
+            combos = combos[:30] + combos[-30:]
+        for rows in combos:
+            gfm.invert(g[list(rows), :])  # must not raise
+
+    def test_systematic_bad_params(self):
+        with pytest.raises(ValueError):
+            gfm.systematic_encoding_matrix(2, 4)
+        with pytest.raises(ValueError):
+            gfm.systematic_encoding_matrix(300, 100)
+
+
+class TestMatvecBlocks:
+    def test_matvec_identity_passthrough(self):
+        blocks = [np.array([1, 2], dtype=np.uint8), np.array([3, 4], dtype=np.uint8)]
+        out = gfm.matvec_blocks(gfm.identity(2), blocks)
+        assert [o.tolist() for o in out] == [[1, 2], [3, 4]]
+
+    def test_matvec_rejects_unequal_lengths(self):
+        blocks = [np.array([1], dtype=np.uint8), np.array([2, 3], dtype=np.uint8)]
+        with pytest.raises(ValueError):
+            gfm.matvec_blocks(gfm.identity(2), blocks)
+
+    def test_matvec_rejects_wrong_count(self):
+        with pytest.raises(ValueError):
+            gfm.matvec_blocks(gfm.identity(2), [np.array([1], dtype=np.uint8)])
+
+    def test_matvec_empty(self):
+        assert gfm.matvec_blocks(np.zeros((0, 0), dtype=np.uint8), []) == []

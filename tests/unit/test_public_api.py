@@ -1,0 +1,72 @@
+"""Public-API surface tests: the imports a downstream user relies on."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+
+class TestTopLevel:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_lazy_run_simulation(self):
+        import repro
+
+        assert callable(repro.run_simulation)
+
+    def test_unknown_attribute(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            _ = repro.does_not_exist
+
+    def test_config_types_exported(self):
+        from repro import CodeParams, FailurePattern, JobConfig, SimulationConfig
+
+        assert SimulationConfig().code == CodeParams(20, 15)
+        assert JobConfig().num_blocks == 1440
+        assert FailurePattern.SINGLE_NODE.value == "single-node"
+
+
+class TestSubpackageSurfaces:
+    @pytest.mark.parametrize(
+        "module,names",
+        [
+            ("repro.ec", ["CodeParams", "ErasureCodec", "ReedSolomon", "StripeLayout"]),
+            ("repro.cluster", ["ClusterTopology", "NodeTree", "NetworkSpec", "FailureInjector"]),
+            (
+                "repro.storage",
+                ["BlockMap", "HdfsRaidCluster", "RepairPlanner", "make_placement_policy"],
+            ),
+            ("repro.sim", ["Simulator", "Timeout", "Semaphore", "FluidNetwork", "RngStreams"]),
+            ("repro.core", ["LocalityFirstScheduler", "BasicDegradedFirstScheduler",
+                            "EnhancedDegradedFirstScheduler", "make_scheduler"]),
+            ("repro.analysis", ["AnalysisParams", "AnalyticalModel", "sweep_code"]),
+            ("repro.testbed", ["TestbedCluster", "TestbedConfig", "WordCountJob",
+                               "HdfsRaidFilesystem", "generate_corpus"]),
+            ("repro.experiments", ["get_experiment", "list_experiments", "ExperimentTable"]),
+        ],
+    )
+    def test_documented_names_importable(self, module, names):
+        mod = importlib.import_module(module)
+        for name in names:
+            assert hasattr(mod, name), f"{module}.{name} missing"
+
+    def test_all_lists_are_accurate(self):
+        for module_name in (
+            "repro.ec",
+            "repro.cluster",
+            "repro.storage",
+            "repro.sim",
+            "repro.core",
+            "repro.analysis",
+            "repro.testbed",
+            "repro.experiments",
+        ):
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"

@@ -1,0 +1,69 @@
+"""Unit tests for named random streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.rng import RngStreams
+
+
+class TestStreams:
+    def test_same_name_same_stream(self):
+        rng = RngStreams(1)
+        assert rng.stream("a") is rng.stream("a")
+
+    def test_streams_independent_of_creation_order(self):
+        first = RngStreams(1)
+        _ = first.stream("a").random()
+        value_b_first = first.stream("b").random()
+
+        second = RngStreams(1)
+        value_b_second = second.stream("b").random()
+        assert value_b_first == value_b_second
+
+    def test_different_seeds_differ(self):
+        assert RngStreams(1).stream("x").random() != RngStreams(2).stream("x").random()
+
+    def test_different_names_differ(self):
+        rng = RngStreams(1)
+        assert rng.stream("x").random() != rng.stream("y").random()
+
+
+class TestDraws:
+    def test_normal_floor(self):
+        rng = RngStreams(1)
+        for _ in range(200):
+            assert rng.normal("t", mean=0.0, std=5.0, minimum=0.5) >= 0.5
+
+    def test_exponential_positive(self):
+        rng = RngStreams(1)
+        for _ in range(50):
+            assert rng.exponential("e", 10.0) > 0
+
+    def test_exponential_bad_mean(self):
+        with pytest.raises(ValueError):
+            RngStreams(1).exponential("e", 0.0)
+
+    def test_exponential_mean_roughly_right(self):
+        rng = RngStreams(3)
+        samples = [rng.exponential("e", 120.0) for _ in range(4000)]
+        assert 100 < sum(samples) / len(samples) < 140
+
+    def test_choice_and_sample(self):
+        rng = RngStreams(1)
+        items = list(range(10))
+        assert rng.choice("c", items) in items
+        picked = rng.sample("s", items, 3)
+        assert len(picked) == 3
+        assert len(set(picked)) == 3
+
+    def test_shuffle_in_place(self):
+        rng = RngStreams(1)
+        items = list(range(20))
+        rng.shuffle("sh", items)
+        assert sorted(items) == list(range(20))
+
+    def test_randint_bounds(self):
+        rng = RngStreams(1)
+        for _ in range(100):
+            assert 3 <= rng.randint("r", 3, 7) <= 7

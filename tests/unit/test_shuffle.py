@@ -1,0 +1,67 @@
+"""Unit tests for shuffle bookkeeping."""
+
+from __future__ import annotations
+
+from repro.mapreduce.shuffle import JobShuffle
+
+
+class TestDeposit:
+    def test_splits_evenly_across_reducers(self, sim, small_topology):
+        shuffle = JobShuffle(sim, num_reducers=4, topology=small_topology)
+        shuffle.deposit(map_node=0, total_bytes=100.0)
+        for index in range(4):
+            pending = shuffle.take(index)
+            assert pending == {0: 25.0}
+
+    def test_attributes_to_source_rack(self, sim, small_topology):
+        shuffle = JobShuffle(sim, num_reducers=1, topology=small_topology)
+        shuffle.deposit(map_node=4, total_bytes=10.0)  # node 4 is in rack 1
+        assert shuffle.take(0) == {1: 10.0}
+
+    def test_accumulates_per_rack(self, sim, small_topology):
+        shuffle = JobShuffle(sim, num_reducers=1, topology=small_topology)
+        shuffle.deposit(0, 10.0)
+        shuffle.deposit(1, 10.0)
+        shuffle.deposit(4, 10.0)
+        assert shuffle.take(0) == {0: 20.0, 1: 10.0}
+
+    def test_zero_reducers_noop(self, sim, small_topology):
+        shuffle = JobShuffle(sim, num_reducers=0, topology=small_topology)
+        shuffle.deposit(0, 10.0)  # must not raise
+
+    def test_zero_bytes_noop(self, sim, small_topology):
+        shuffle = JobShuffle(sim, num_reducers=2, topology=small_topology)
+        shuffle.deposit(0, 0.0)
+        assert shuffle.take(0) == {}
+
+
+class TestTakeAndWait:
+    def test_take_clears(self, sim, small_topology):
+        shuffle = JobShuffle(sim, num_reducers=1, topology=small_topology)
+        shuffle.deposit(0, 10.0)
+        assert shuffle.take(0) != {}
+        assert shuffle.take(0) == {}
+
+    def test_wait_fires_on_deposit(self, sim, small_topology):
+        shuffle = JobShuffle(sim, num_reducers=1, topology=small_topology)
+        wakeup = shuffle.wait(0)
+        assert not wakeup.fired
+        shuffle.deposit(0, 5.0)
+        assert wakeup.fired
+
+    def test_wait_is_shared_until_fire(self, sim, small_topology):
+        shuffle = JobShuffle(sim, num_reducers=1, topology=small_topology)
+        assert shuffle.wait(0) is shuffle.wait(0)
+
+    def test_notify_maps_done_wakes_all(self, sim, small_topology):
+        shuffle = JobShuffle(sim, num_reducers=3, topology=small_topology)
+        wakeups = [shuffle.wait(index) for index in range(3)]
+        shuffle.notify_maps_done()
+        assert all(wakeup.fired for wakeup in wakeups)
+
+    def test_totals_tracked(self, sim, small_topology):
+        shuffle = JobShuffle(sim, num_reducers=2, topology=small_topology)
+        shuffle.deposit(0, 10.0)
+        shuffle.take(0)
+        assert shuffle.total_deposited == 10.0
+        assert shuffle.total_drained == 5.0

@@ -1,0 +1,74 @@
+"""Unit tests for simulation assembly helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.model import AnalysisParams, AnalyticalModel
+from repro.cluster.network import MB, gbps
+from repro.ec.codec import CodeParams
+from repro.mapreduce.config import JobConfig, SimulationConfig
+from repro.mapreduce.simulation import build_topology, expected_degraded_read_time
+
+
+class TestBuildTopology:
+    def test_default_layout(self):
+        topo = build_topology(SimulationConfig())
+        assert topo.num_nodes == 40
+        assert topo.num_racks == 4
+        assert topo.node(0).map_slots == 4
+        assert topo.node(0).reduce_slots == 1
+
+    def test_uneven_split_rejected(self):
+        config = SimulationConfig(num_nodes=10, num_racks=4, code=CodeParams(4, 2))
+        with pytest.raises(ValueError):
+            build_topology(config)
+
+    def test_speed_factors_applied(self):
+        factors = tuple(0.5 if i < 4 else 1.0 for i in range(8))
+        config = SimulationConfig(
+            num_nodes=8, num_racks=2, code=CodeParams(4, 2), speed_factors=factors
+        )
+        topo = build_topology(config)
+        assert topo.node(0).speed_factor == 0.5
+        assert topo.node(7).speed_factor == 1.0
+
+
+class TestExpectedDegradedReadTime:
+    def test_matches_analysis_formula(self):
+        config = SimulationConfig(
+            num_nodes=40,
+            num_racks=4,
+            code=CodeParams(16, 12),
+            block_size=128 * MB,
+            rack_bandwidth=gbps(1),
+        )
+        model = AnalyticalModel(
+            AnalysisParams(code=CodeParams(16, 12))
+        )
+        assert expected_degraded_read_time(config) == pytest.approx(
+            model.expected_degraded_read_time()
+        )
+
+    def test_scales_with_k_and_size(self):
+        small = SimulationConfig(code=CodeParams(8, 6))
+        large = SimulationConfig(code=CodeParams(20, 15))
+        assert expected_degraded_read_time(large) > expected_degraded_read_time(small)
+
+
+class TestJobTruncation:
+    def test_job_smaller_than_file(self):
+        """A job over fewer blocks than stored sees a truncated view."""
+        from repro.mapreduce.simulation import run_simulation
+
+        config = SimulationConfig(
+            num_nodes=6,
+            num_racks=2,
+            map_slots=2,
+            code=CodeParams(4, 2),
+            block_size=16 * MB,
+            jobs=(JobConfig(num_blocks=10, num_reduce_tasks=0),),
+            seed=1,
+        )
+        result = run_simulation(config)
+        assert len(result.job(0).tasks) == 10

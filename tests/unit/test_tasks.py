@@ -1,0 +1,151 @@
+"""Unit tests for JobTaskState (per-job scheduling bookkeeping)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.ec.codec import CodeParams
+from repro.mapreduce.config import JobConfig
+from repro.sim.rng import RngStreams
+from repro.storage.hdfs import HdfsRaidCluster
+from repro.core.tasks import JobTaskState
+
+
+@pytest.fixture
+def state():
+    topology = ClusterTopology.from_rack_sizes([3, 3])
+    cluster = HdfsRaidCluster(
+        topology, CodeParams(4, 2), num_native_blocks=12, placement="declustered",
+        rng=RngStreams(2),
+    )
+    view = cluster.failure_view(frozenset({0}))
+    config = JobConfig(num_blocks=12, num_reduce_tasks=4)
+    return (
+        JobTaskState(0, config, view, cluster.block_map, topology),
+        cluster,
+        topology,
+        view,
+    )
+
+
+class TestCounters:
+    def test_initial_counts(self, state):
+        task_state, _, _, view = state
+        assert task_state.M == 12
+        assert task_state.M_d == len(view.lost_blocks)
+        assert task_state.m == 0
+        assert task_state.m_d == 0
+
+    def test_pop_degraded_increments_both(self, state):
+        task_state, _, _, view = state
+        if not task_state.has_unassigned_degraded():
+            pytest.skip("no lost blocks on failed node for this seed")
+        block = task_state.pop_degraded()
+        assert block in view.lost_blocks
+        assert task_state.m == 1
+        assert task_state.m_d == 1
+
+    def test_pop_local_increments_m_only(self, state):
+        task_state, cluster, _, _ = state
+        slave = 1
+        picked = task_state.pop_local(slave)
+        if picked is None:
+            pytest.skip("no local work for slave 1 with this seed")
+        block, node_local = picked
+        assert task_state.m == 1
+        assert task_state.m_d == 0
+        home = cluster.node_of(block)
+        if node_local:
+            assert home == slave
+        else:
+            assert home != slave
+
+
+class TestPools:
+    def test_local_prefers_node_local(self, state):
+        task_state, cluster, _, _ = state
+        slave = 1
+        own = task_state.pending_node_local_count(slave)
+        if own == 0:
+            pytest.skip("slave 1 stores no natives with this seed")
+        block, node_local = task_state.pop_local(slave)
+        assert node_local
+        assert cluster.node_of(block) == slave
+
+    def test_remote_comes_from_other_rack(self, state):
+        task_state, cluster, topology, _ = state
+        slave = 1
+        block = task_state.pop_remote(slave)
+        assert block is not None
+        assert topology.rack_of(cluster.node_of(block)) != topology.rack_of(slave)
+
+    def test_drain_everything_exactly_once(self, state):
+        task_state, _, _, _ = state
+        seen = set()
+        while task_state.has_unassigned_maps():
+            picked = task_state.pop_local(1) or ((task_state.pop_remote(1), True))
+            if picked and picked[0] is not None:
+                seen.add(picked[0])
+                continue
+            block = task_state.pop_degraded()
+            if block is not None:
+                seen.add(block)
+        assert len(seen) == 12
+        assert task_state.m == 12
+
+    def test_pop_empty_pools(self, state):
+        task_state, _, _, _ = state
+        while task_state.pop_degraded() is not None:
+            pass
+        assert task_state.pop_degraded() is None
+
+
+class TestReduce:
+    def test_slowstart_gate(self, state):
+        task_state, _, _, _ = state
+        assert not task_state.reduce_ready(slowstart=0.05)
+        task_state.launched_map_tasks = 12
+        task_state.completed_map_tasks = 1
+        assert task_state.reduce_ready(slowstart=0.05)
+        assert not task_state.reduce_ready(slowstart=0.5)
+
+    def test_map_only_job_never_reduces(self):
+        topology = ClusterTopology.from_rack_sizes([3, 3])
+        cluster = HdfsRaidCluster(
+            topology, CodeParams(4, 2), num_native_blocks=4, placement="declustered",
+            rng=RngStreams(2),
+        )
+        view = cluster.failure_view(frozenset())
+        config = JobConfig(num_blocks=4, num_reduce_tasks=0)
+        task_state = JobTaskState(0, config, view, cluster.block_map, topology)
+        assert not task_state.reduce_ready(slowstart=0.0)
+
+    def test_pop_reduce_sequence(self, state):
+        task_state, _, _, _ = state
+        indices = []
+        while True:
+            index = task_state.pop_reduce()
+            if index is None:
+                break
+            indices.append(index)
+        assert indices == [0, 1, 2, 3]
+
+
+class TestCompletionAccounting:
+    def test_over_completion_raises(self, state):
+        task_state, _, _, _ = state
+        for _ in range(12):
+            task_state.on_map_complete()
+        with pytest.raises(RuntimeError):
+            task_state.on_map_complete()
+
+    def test_job_completed(self, state):
+        task_state, _, _, _ = state
+        assert not task_state.job_completed()
+        for _ in range(12):
+            task_state.on_map_complete()
+        assert not task_state.job_completed()
+        for _ in range(4):
+            task_state.on_reduce_complete()
+        assert task_state.job_completed()

@@ -1,0 +1,71 @@
+"""Unit tests for the WordCount / Grep / LineCount job definitions."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.testbed.jobs import GrepJob, LineCountJob, WordCountJob
+
+SAMPLE = b"the cat sat\nthe dog ran\nthe cat sat\nbirds fly high\n"
+
+
+class TestWordCount:
+    def test_map_counts_words(self):
+        pairs = dict(WordCountJob().map_fn(SAMPLE))
+        assert pairs["the"] == 3
+        assert pairs["cat"] == 2
+        assert pairs["high"] == 1
+
+    def test_reduce_sums(self):
+        assert WordCountJob().reduce_fn("the", [3, 2, 1]) == [("the", 6)]
+
+    def test_combine_merges(self):
+        combined = dict(WordCountJob().combine([("a", 1), ("a", 2), ("b", 1)]))
+        assert combined == {"a": 3, "b": 1}
+
+    def test_end_to_end_equals_counter(self):
+        job = WordCountJob()
+        pairs = job.combine(job.map_fn(SAMPLE))
+        output = {}
+        for key, value in pairs:
+            output.update(dict(job.reduce_fn(key, [value])))
+        assert output == dict(Counter(SAMPLE.decode().split()))
+
+
+class TestGrep:
+    def test_empty_word_rejected(self):
+        with pytest.raises(ValueError):
+            GrepJob("")
+
+    def test_matches_whole_words_only(self):
+        pairs = list(GrepJob("cat").map_fn(SAMPLE))
+        assert ("the cat sat", 1) in pairs
+        assert all("dog" not in line for line, _ in pairs)
+
+    def test_no_substring_matches(self):
+        # "he" is a substring of "the" but not a word in the sample.
+        assert list(GrepJob("he").map_fn(SAMPLE)) == []
+
+    def test_reduce_counts_occurrences(self):
+        assert GrepJob("x").reduce_fn("line", [1, 1]) == [("line", 2)]
+
+
+class TestLineCount:
+    def test_map_counts_lines(self):
+        pairs = dict(LineCountJob().map_fn(SAMPLE))
+        assert pairs["the cat sat"] == 2
+        assert pairs["birds fly high"] == 1
+
+    def test_combine_merges(self):
+        combined = dict(LineCountJob().combine([("l", 1), ("l", 4)]))
+        assert combined == {"l": 5}
+
+    def test_reduce_sums(self):
+        assert LineCountJob().reduce_fn("l", [2, 3]) == [("l", 5)]
+
+    def test_names(self):
+        assert WordCountJob().name == "WordCount"
+        assert GrepJob("x").name == "Grep"
+        assert LineCountJob().name == "LineCount"

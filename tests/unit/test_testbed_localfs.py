@@ -1,0 +1,110 @@
+"""Unit tests for the testbed filesystem and datanode stores."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.network import NetworkSpec
+from repro.cluster.topology import ClusterTopology
+from repro.ec.codec import CodeParams
+from repro.sim.rng import RngStreams
+from repro.storage.block import BlockId
+from repro.testbed.localfs import BlockNotFoundError, DataNodeStore, HdfsRaidFilesystem
+from repro.testbed.netem import EmulatedNetwork
+
+
+@pytest.fixture
+def fs():
+    topology = ClusterTopology.from_rack_sizes([3, 3])
+    netem = EmulatedNetwork(
+        topology, NetworkSpec(rack_download_bw=1e9), time_scale=1e-6
+    )
+    return HdfsRaidFilesystem(
+        topology, CodeParams(4, 2), block_size=1000, netem=netem,
+        placement="round-robin", rng=RngStreams(1),
+    )
+
+
+CORPUS = b"\n".join(b"line %d of the corpus body" % i for i in range(300)) + b"\n"
+
+
+class TestDataNodeStore:
+    def test_put_get(self):
+        store = DataNodeStore(0)
+        block = BlockId(0, 0, 2)
+        store.put(block, b"payload")
+        assert store.get(block) == b"payload"
+        assert store.block_count() == 1
+
+    def test_missing_block(self):
+        store = DataNodeStore(0)
+        with pytest.raises(BlockNotFoundError):
+            store.get(BlockId(0, 0, 2))
+
+
+class TestSplitBlocks:
+    def test_line_aligned(self, fs):
+        blocks = fs.split_blocks(CORPUS)
+        assert all(len(block) <= 1000 for block in blocks)
+        for block in blocks:
+            assert block.endswith(b"\n")
+        assert b"".join(blocks) == CORPUS
+
+    def test_oversized_line_split(self, fs):
+        data = b"x" * 2500
+        blocks = fs.split_blocks(data)
+        assert b"".join(blocks) == data
+        assert all(len(block) <= 1000 for block in blocks)
+
+    def test_empty(self, fs):
+        assert fs.split_blocks(b"") == [b""]
+
+
+class TestWriteAndRead:
+    def test_write_places_all_blocks(self, fs):
+        block_map = fs.write_file(CORPUS)
+        stored = sum(fs.stored_blocks_per_node().values())
+        assert stored == block_map.num_stripes * 4
+
+    def test_local_read_roundtrip(self, fs):
+        block_map = fs.write_file(CORPUS)
+        block = block_map.native_blocks()[0]
+        home = block_map.node_of(block)
+        payload, elapsed = fs.read_block(block, reader_node=home)
+        assert payload == fs.stores[home].get(block)
+        assert elapsed >= 0.0
+
+    def test_degraded_read_reconstructs_exact_bytes(self, fs):
+        block_map = fs.write_file(CORPUS)
+        natives = block_map.native_blocks()
+        for block in natives:
+            home = block_map.node_of(block)
+            original = fs.stores[home].get(block)
+            reader = next(
+                node for node in fs.topology.node_ids() if node != home
+            )
+            rebuilt, _ = fs.read_block(block, reader, failed_nodes=frozenset({home}))
+            assert rebuilt == original
+
+    def test_degraded_read_of_short_final_block(self, fs):
+        """The final (short, unpadded) block must reconstruct byte-exact."""
+        data = CORPUS + b"tail without newline"
+        block_map = fs.write_file(data)
+        block = block_map.native_blocks()[-1]
+        home = block_map.node_of(block)
+        original = fs.stores[home].get(block)
+        reader = (home + 1) % fs.topology.num_nodes
+        rebuilt, _ = fs.degraded_read(block, reader, frozenset({home}))
+        assert rebuilt == original
+
+    def test_reassembled_file_matches(self, fs):
+        block_map = fs.write_file(CORPUS)
+        payloads = []
+        for block in block_map.native_blocks():
+            payload, _ = fs.read_block(block, reader_node=0)
+            payloads.append(payload)
+        assert b"".join(payloads) == CORPUS
+
+    def test_read_before_write_raises(self, fs):
+        with pytest.raises(RuntimeError):
+            fs.read_block(BlockId(0, 0, 2), reader_node=0)
