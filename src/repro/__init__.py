@@ -18,15 +18,21 @@ Quickstart
 
 from repro.cluster.failures import FailurePattern
 from repro.ec.codec import CodeParams
+from repro.faults import FailEvent, FailureSchedule, JobFailedError, RecoverEvent, SlowdownEvent
 from repro.mapreduce.config import JobConfig, SimulationConfig
 
 __version__ = "1.0.0"
 
 __all__ = [
     "CodeParams",
+    "FailEvent",
     "FailurePattern",
+    "FailureSchedule",
     "JobConfig",
+    "JobFailedError",
+    "RecoverEvent",
     "SimulationConfig",
+    "SlowdownEvent",
     "run_simulation",
     "__version__",
 ]

@@ -69,6 +69,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="inject the failure at this simulation time instead of at start",
     )
     simulate.add_argument(
+        "--failure-trace",
+        dest="failure_trace",
+        metavar="FILE",
+        help="drive failures from a scripted FailureSchedule JSON file "
+        "(overrides --failure/--failure-time)",
+    )
+    simulate.add_argument(
+        "--max-attempts",
+        type=int,
+        default=4,
+        help="retry budget per task before the job is failed (default 4)",
+    )
+    simulate.add_argument(
+        "--heartbeat-expiry",
+        type=float,
+        default=30.0,
+        help="seconds of heartbeat silence before a node is declared dead",
+    )
+    simulate.add_argument(
+        "--speculative",
+        action="store_true",
+        help="launch speculative backups for straggling map tasks",
+    )
+    simulate.add_argument(
         "--timeline",
         action="store_true",
         help="render an ASCII map-slot activity chart (the paper's Figure 3 view)",
@@ -116,6 +140,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"bad --code value {args.code!r}: {error}", file=sys.stderr)
         return 2
+    schedule = None
+    if args.failure_trace:
+        from repro.faults.schedule import FailureSchedule
+
+        schedule = FailureSchedule.load(args.failure_trace)
     config = SimulationConfig(
         num_nodes=args.nodes,
         num_racks=args.racks,
@@ -126,6 +155,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         jobs=(JobConfig(num_blocks=args.blocks),),
         failure=FailurePattern(args.failure),
         failure_time=args.failure_time,
+        failure_schedule=schedule,
+        max_attempts=args.max_attempts,
+        heartbeat_expiry=args.heartbeat_expiry,
+        speculative=args.speculative,
         scheduler=args.scheduler,
         seed=args.seed,
     )
@@ -133,9 +166,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _report_simulation(args: argparse.Namespace, config) -> int:
+    from repro.faults import JobFailedError
     from repro.mapreduce.simulation import run_simulation
 
-    result = run_simulation(config)
+    failure: JobFailedError | None = None
+    try:
+        result = run_simulation(config)
+    except JobFailedError as error:
+        if error.result is None:
+            print(f"job failed: {error}", file=sys.stderr)
+            return 1
+        failure = error
+        result = error.result
     job = result.job(0)
     print(f"scheduler: {config.scheduler}")
     print(f"failed nodes: {sorted(result.failed_nodes)}")
@@ -143,6 +185,7 @@ def _report_simulation(args: argparse.Namespace, config) -> int:
     print(f"degraded tasks: {job.degraded_task_count}")
     print(f"mean degraded read time: {job.mean_degraded_read_time():.1f} s")
     print(f"remote tasks (cross-rack): {job.remote_task_count}")
+    _report_faults(result)
     if args.timeline:
         from repro.mapreduce.trace import render_timeline
 
@@ -154,6 +197,41 @@ def _report_simulation(args: argparse.Namespace, config) -> int:
         with open(args.json_path, "w") as handle:
             handle.write(to_json(result, indent=2))
         print(f"trace written to {args.json_path}")
+    if failure is not None:
+        print(f"job failed: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _report_faults(result) -> int:
+    """Print the fault-tolerance side of a trial, if anything happened."""
+    faults = result.faults
+    for record in faults.detections:
+        print(
+            f"detected node {record.node} dead at {record.detected_at:.1f} s "
+            f"(failed {record.failed_at:.1f} s, latency {record.latency:.1f} s)"
+        )
+    for record in faults.recoveries:
+        print(
+            f"node {record.node} recovered at {record.at:.1f} s "
+            f"(reclaimed {record.reclaimed_tasks} degraded tasks)"
+        )
+    for record in faults.blacklistings:
+        print(
+            f"node {record.node} blacklisted at {record.at:.1f} s "
+            f"after {record.consecutive_failures} consecutive failures"
+        )
+    killed = sum(job.killed_attempts for job in result.jobs.values())
+    spec_launched = sum(job.speculative_launched for job in result.jobs.values())
+    spec_killed = sum(job.speculative_killed for job in result.jobs.values())
+    max_attempt = max(
+        (job.max_task_attempt for job in result.jobs.values()), default=1
+    )
+    if killed or spec_launched or max_attempt > 1:
+        print(
+            f"attempts: killed={killed} max-per-task={max_attempt} "
+            f"speculative-launched={spec_launched} speculative-killed={spec_killed}"
+        )
     return 0
 
 

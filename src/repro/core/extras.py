@@ -16,7 +16,7 @@ benchmark suite can measure what each one buys:
 
 from __future__ import annotations
 
-from repro.core.degraded_first import BasicDegradedFirstScheduler, pacing_allows_degraded
+from repro.core.degraded_first import pacing_allows_degraded
 from repro.core.enhanced import EnhancedDegradedFirstScheduler
 from repro.core.scheduler import Scheduler
 from repro.core.tasks import JobTaskState

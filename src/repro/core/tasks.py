@@ -235,6 +235,34 @@ class JobTaskState:
         self._pending_degraded.extend(queue)
         return converted
 
+    def on_node_recovery(self, recovered_node: int) -> int:
+        """Reclassify pending degraded tasks whose blocks just came back.
+
+        When a failed node rejoins, the blocks stored on it are readable
+        again, so pending degraded tasks whose lost block lives there go
+        back into the normal pool (``M_d`` shrinks; ``M`` is unchanged).
+        Returns how many tasks were reclaimed.  Degraded tasks already
+        *running* keep reconstructing -- interrupting them would waste more
+        work than the reclassification saves.
+        """
+        kept: deque[BlockId] = deque()
+        reclaimed: list[BlockId] = []
+        for block in self._pending_degraded:
+            if self.block_map.node_of(block) == recovered_node:
+                reclaimed.append(block)
+            else:
+                kept.append(block)
+        if not reclaimed:
+            return 0
+        self._pending_degraded = kept
+        rack = self.topology.rack_of(recovered_node)
+        queue = self._pending_by_node.setdefault(recovered_node, deque())
+        queue.extend(reclaimed)
+        self._pending_per_rack[rack] = self._pending_per_rack.get(rack, 0) + len(reclaimed)
+        self._pending_normal += len(reclaimed)
+        self.total_degraded_tasks -= len(reclaimed)
+        return len(reclaimed)
+
     def requeue_killed_map(self, block: BlockId, was_degraded: bool, lost: bool) -> None:
         """Put a killed running map task back into the right pool.
 

@@ -31,7 +31,7 @@ from repro.experiments.common import (
     normalized_runtimes,
     run_failure_and_normal,
 )
-from repro.mapreduce.config import JobConfig, SimulationConfig
+from repro.mapreduce.config import SimulationConfig
 from repro.sim.rng import RngStreams
 
 #: Schedulers compared in Figure 7.

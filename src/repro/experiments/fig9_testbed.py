@@ -22,7 +22,6 @@ from __future__ import annotations
 import os
 import statistics
 
-from repro.mapreduce.job import TaskKind
 from repro.testbed.engine import TestbedCluster, TestbedConfig, TestbedJobResult
 from repro.testbed.jobs import GrepJob, LineCountJob, MapReduceJob, WordCountJob
 

@@ -1,0 +1,45 @@
+"""Fault tolerance: scripted failure schedules, detection, retries, speculation.
+
+This package is the simulator's fault-tolerance subsystem.  The paper's
+experiments inject failures only at trial start; real erasure-coded clusters
+fail *during* jobs, recover, and limp.  The pieces here close that gap:
+
+* :mod:`repro.faults.schedule` -- a declarative, reproducible timeline of
+  :class:`FailEvent` / :class:`RecoverEvent` / :class:`SlowdownEvent`
+  entries, buildable programmatically or from a JSON trace;
+* :mod:`repro.faults.driver` -- the simulator processes that replay a
+  schedule against a running cluster and detect dead trackers from
+  heartbeat expiry (the master is *not* told about failures omnisciently);
+* :mod:`repro.faults.records` -- what the fault machinery measured:
+  detection latencies, blacklist events, recoveries, slowdowns;
+* :mod:`repro.faults.errors` -- :class:`JobFailedError`, raised when a
+  task exhausts its retry budget and the job is abandoned cleanly.
+"""
+
+from repro.faults.errors import JobFailedError
+from repro.faults.records import (
+    BlacklistRecord,
+    DetectionRecord,
+    FaultTimeline,
+    RecoveryRecord,
+    SlowdownRecord,
+)
+from repro.faults.schedule import (
+    FailEvent,
+    FailureSchedule,
+    RecoverEvent,
+    SlowdownEvent,
+)
+
+__all__ = [
+    "BlacklistRecord",
+    "DetectionRecord",
+    "FailEvent",
+    "FailureSchedule",
+    "FaultTimeline",
+    "JobFailedError",
+    "RecoverEvent",
+    "RecoveryRecord",
+    "SlowdownEvent",
+    "SlowdownRecord",
+]

@@ -1,0 +1,99 @@
+"""Replaying a failure schedule and detecting dead trackers.
+
+Two pieces run against a live simulation:
+
+* :func:`install_schedule` registers the schedule's deferred events as
+  simulator callbacks: crashes stop a slave's heartbeat loop and kill its
+  task processes *silently* (the master is not told), recoveries respawn
+  the slave, slowdowns scale its processing speed.
+* :func:`failure_detector_process` is the master-side monitor: it scans
+  last-heartbeat timestamps every check interval and declares a tracker
+  dead once it has been silent longer than ``heartbeat_expiry`` -- the
+  Hadoop model.  Detection latency (declare time minus ground-truth crash
+  time) is recorded in the trial's :class:`~repro.faults.records.FaultTimeline`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import TYPE_CHECKING
+
+from repro.cluster.topology import ClusterTopology
+from repro.faults.records import SlowdownRecord
+from repro.faults.schedule import FailEvent, FailureSchedule, RecoverEvent, SlowdownEvent
+from repro.sim.engine import Timeout
+
+if TYPE_CHECKING:  # imported for typing only; avoids a runtime import cycle
+    from repro.mapreduce.slave import SlaveRuntime
+
+
+def install_schedule(
+    schedule: FailureSchedule, runtime: "SlaveRuntime", topology: ClusterTopology
+) -> None:
+    """Register every deferred schedule event as a simulator callback.
+
+    ``t == 0`` fail events are *not* registered here: they are the
+    down-before-start case and must be passed to the :class:`JobTracker`
+    as its initial ``failed_nodes`` (see
+    :meth:`FailureSchedule.initial_failures`).
+    """
+    schedule.validate(topology)
+    sim = runtime.sim
+    for event in schedule.deferred_events():
+        if isinstance(event, FailEvent):
+            targets = schedule.fail_targets(event, topology)
+            sim.call_at(
+                event.at,
+                lambda targets=targets: [runtime.crash_node(n) for n in targets],
+            )
+        elif isinstance(event, RecoverEvent):
+            sim.call_at(event.at, lambda node=event.node: runtime.recover_node(node))
+        elif isinstance(event, SlowdownEvent):
+
+            def begin(event: SlowdownEvent = event) -> None:
+                runtime.begin_slowdown(event.node, event.factor)
+                runtime.tracker.faults.slowdowns.append(
+                    SlowdownRecord(
+                        node=event.node,
+                        at=event.at,
+                        factor=event.factor,
+                        duration=event.duration,
+                    )
+                )
+
+            sim.call_at(event.at, begin)
+            sim.call_at(
+                event.at + event.duration,
+                lambda event=event: runtime.end_slowdown(event.node, event.factor),
+            )
+        else:  # pragma: no cover - the schedule type union is closed
+            raise AssertionError(f"unhandled event {event!r}")
+
+
+def failure_detector_process(runtime: "SlaveRuntime") -> Generator:
+    """The master's heartbeat monitor.
+
+    Wakes every heartbeat interval and declares dead any live node whose
+    last heartbeat is older than ``heartbeat_expiry``.  Ground-truth crash
+    times (which the *master* does not know) come from the runtime's crash
+    log, purely so detection latency can be reported.
+    """
+    tracker = runtime.tracker
+    expiry = runtime.config.heartbeat_expiry
+    interval = runtime.config.heartbeat_interval
+    while not tracker.finished:
+        now = runtime.sim.now
+        for node_id in sorted(tracker.last_heartbeat):
+            if node_id in tracker.failed_nodes:
+                continue
+            if now - tracker.last_heartbeat[node_id] > expiry:
+                failed_at = runtime.crash_times.get(
+                    node_id, tracker.last_heartbeat[node_id]
+                )
+                tracker.declare_dead(node_id, failed_at=failed_at)
+        if runtime.sim.peek() is None:
+            # Nothing else is scheduled, ever: every slave loop, task and
+            # recovery callback is gone, so the trial can make no further
+            # progress.  Exit instead of ticking an empty simulation forever.
+            return
+        yield Timeout(interval)

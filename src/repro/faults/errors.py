@@ -1,0 +1,18 @@
+"""Errors raised by the fault-tolerance subsystem."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class JobFailedError(RuntimeError):
+    """A job was abandoned because a task exhausted its retry budget.
+
+    The partial :class:`~repro.mapreduce.metrics.SimulationResult` (covering
+    whatever did complete, including the failed jobs' metrics records) is
+    attached as :attr:`result` so callers can inspect how far the run got.
+    """
+
+    def __init__(self, message: str, result: Any = None) -> None:
+        super().__init__(message)
+        self.result = result

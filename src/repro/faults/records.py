@@ -1,0 +1,79 @@
+"""What the fault-tolerance machinery measured during one trial.
+
+The paper's simulator knows about failures omnisciently, so it has nothing
+to measure about *detection*.  Once failures are detected from heartbeat
+expiry (:mod:`repro.faults.driver`), detection latency, blacklist events,
+recoveries and slowdowns all become observable quantities; they are
+collected here and attached to the trial's
+:class:`~repro.mapreduce.metrics.SimulationResult` as ``result.faults``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DetectionRecord:
+    """The master declared a node dead after its heartbeats stopped."""
+
+    node: int
+    #: Ground-truth instant the node actually died (from the schedule).
+    failed_at: float
+    #: Instant the master declared it dead.
+    detected_at: float
+
+    @property
+    def latency(self) -> float:
+        """How long the master believed a dead node was alive."""
+        return self.detected_at - self.failed_at
+
+
+@dataclass(frozen=True)
+class BlacklistRecord:
+    """A node crossed the consecutive-failure threshold and was blacklisted."""
+
+    node: int
+    at: float
+    consecutive_failures: int
+
+
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """A failed node rejoined the cluster."""
+
+    node: int
+    at: float
+    #: Pending degraded tasks reclassified back to normal because their
+    #: blocks became readable again.
+    reclaimed_tasks: int
+
+
+@dataclass(frozen=True)
+class SlowdownRecord:
+    """A node ran at reduced speed for a while."""
+
+    node: int
+    at: float
+    factor: float
+    duration: float
+
+
+@dataclass
+class FaultTimeline:
+    """Every fault-related observation of one trial, in event order."""
+
+    detections: list[DetectionRecord] = field(default_factory=list)
+    blacklistings: list[BlacklistRecord] = field(default_factory=list)
+    recoveries: list[RecoveryRecord] = field(default_factory=list)
+    slowdowns: list[SlowdownRecord] = field(default_factory=list)
+
+    @property
+    def detection_latencies(self) -> list[float]:
+        """Detection latency of every declared failure, in declare order."""
+        return [record.latency for record in self.detections]
+
+    @property
+    def blacklisted_nodes(self) -> frozenset[int]:
+        """Nodes that were blacklisted at any point during the trial."""
+        return frozenset(record.node for record in self.blacklistings)

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field, replace
 from repro.cluster.failures import FailurePattern
 from repro.cluster.network import MB, NetworkSpec, gbps
 from repro.ec.codec import CodeParams
+from repro.faults.schedule import FailureSchedule
 from repro.storage.degraded import SourceSelection
 
 #: The paper's three schedulers (the full accepted set, including ablation
@@ -92,6 +93,10 @@ class SimulationConfig:
     failure: FailurePattern = FailurePattern.SINGLE_NODE
     failure_eligible: tuple[int, ...] | None = None
     failure_time: float | None = None
+    #: Scripted churn timeline; when set it replaces ``failure`` /
+    #: ``failure_time`` entirely (t=0 fail events are down-before-start,
+    #: later events are crashes the master detects from heartbeat expiry).
+    failure_schedule: FailureSchedule | None = None
 
     # Scheduling
     scheduler: str = "EDF"
@@ -99,6 +104,18 @@ class SimulationConfig:
     heartbeat_stagger: bool = True
     reduce_slowstart: float = 0.05
     shuffle_drain_interval: float = 3.0
+
+    # Fault tolerance
+    #: Seconds of heartbeat silence before the master declares a node dead.
+    heartbeat_expiry: float = 30.0
+    #: Retry budget per task; exhausting it fails the job (JobFailedError).
+    max_attempts: int = 4
+    #: Consecutive declared deaths before a node is blacklisted (None = off).
+    blacklist_threshold: int | None = 3
+    #: Launch speculative backups for straggling map tasks.
+    speculative: bool = False
+    #: Straggler threshold: elapsed > multiplier x median completed map time.
+    speculative_multiplier: float = 1.5
 
     # Reproducibility
     seed: int = 0
@@ -124,6 +141,14 @@ class SimulationConfig:
             )
         if self.failure_time is not None and self.failure_time < 0:
             raise ValueError(f"negative failure time {self.failure_time}")
+        if self.heartbeat_expiry <= 0:
+            raise ValueError("heartbeat expiry must be positive")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.blacklist_threshold is not None and self.blacklist_threshold < 1:
+            raise ValueError("blacklist threshold must be at least 1 (or None)")
+        if self.speculative_multiplier <= 1.0:
+            raise ValueError("speculative multiplier must exceed 1")
 
     @property
     def total_blocks(self) -> int:
@@ -141,6 +166,10 @@ class SimulationConfig:
     def with_failure(self, failure: FailurePattern) -> "SimulationConfig":
         """Copy of this config using a different failure pattern."""
         return replace(self, failure=failure)
+
+    def with_failure_schedule(self, schedule: FailureSchedule) -> "SimulationConfig":
+        """Copy of this config driven by a scripted failure schedule."""
+        return replace(self, failure_schedule=schedule)
 
     def with_seed(self, seed: int) -> "SimulationConfig":
         """Copy of this config using a different master seed."""

@@ -43,12 +43,18 @@ class MapTaskCategory(enum.Enum):
 
 @dataclass(frozen=True)
 class MapAssignment:
-    """A map task handed to a slave in a heartbeat response."""
+    """A map task handed to a slave in a heartbeat response.
+
+    ``speculative`` marks a backup attempt of a task that is already
+    running elsewhere; the first finisher wins and the other attempt is
+    interrupted.
+    """
 
     job_id: int
     block: BlockId
     category: MapTaskCategory
     slave_id: int
+    speculative: bool = False
 
 
 @dataclass(frozen=True)

@@ -4,21 +4,59 @@ The :class:`JobTracker` owns the FIFO job list, the per-job
 :class:`~repro.core.tasks.JobTaskState`, and the pluggable scheduler.  Slave
 processes call :meth:`JobTracker.heartbeat`; completion callbacks flow back
 through :meth:`on_map_complete` / :meth:`on_reduce_complete`.
+
+Fault tolerance lives here too (see :mod:`repro.faults`):
+
+* the master timestamps every heartbeat and :meth:`declare_dead` fires once
+  a tracker has been silent past the expiry interval -- the omniscient
+  :meth:`fail_node` remains as the declaration's mechanism (and as the
+  legacy at-start path);
+* every launched attempt is registered in-flight, so a declared death can
+  requeue exactly the work the dead node held;
+* per-task failure counts enforce a retry budget (``max_attempts``); a task
+  that exhausts it fails its whole job cleanly via :meth:`_fail_job`;
+* per-node consecutive death counts feed a blacklist the schedulers' live
+  view respects;
+* when a job's map phase is fully dispatched, stragglers get speculative
+  backup attempts; the first finisher wins.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
+import math
+import statistics
+from dataclasses import dataclass, replace
 
 from repro.cluster.topology import ClusterTopology
 from repro.core.scheduler import Scheduler
 from repro.core.tasks import JobTaskState
+from repro.faults.records import BlacklistRecord, DetectionRecord, FaultTimeline, RecoveryRecord
 from repro.mapreduce.config import JobConfig
-from repro.mapreduce.job import MapAssignment, ReduceAssignment
+from repro.mapreduce.job import MapAssignment, MapTaskCategory, ReduceAssignment
 from repro.mapreduce.metrics import JobMetrics, TaskRecord
 from repro.mapreduce.shuffle import JobShuffle
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import Event, Process, Simulator
 from repro.storage.hdfs import HdfsRaidCluster
+
+#: Attempt-registry key: ("map", job_id, block) or ("reduce", job_id, index).
+AttemptKey = tuple
+
+
+@dataclass
+class RunningAttempt:
+    """One in-flight task attempt the master knows about."""
+
+    key: AttemptKey
+    assignment: MapAssignment | ReduceAssignment
+    process: Process | None
+    launch_time: float
+    number: int
+
+
+def _attempt_key(assignment: MapAssignment | ReduceAssignment) -> AttemptKey:
+    if isinstance(assignment, MapAssignment):
+        return ("map", assignment.job_id, assignment.block)
+    return ("reduce", assignment.job_id, assignment.reduce_index)
 
 
 class JobTracker:
@@ -36,8 +74,24 @@ class JobTracker:
         The scheduling policy under test.
     failed_nodes:
         Nodes that are down when the trial starts; :meth:`fail_node` can
-        take down further nodes mid-run.
+        take down further nodes mid-run (omnisciently), and
+        :meth:`declare_dead` does the same from heartbeat expiry.
+    max_attempts:
+        Retry budget per task; a task killed this many times fails its job
+        with a :class:`~repro.faults.errors.JobFailedError`.
+    blacklist_threshold:
+        Consecutive declared deaths after which a node is blacklisted
+        (never assigned work again, even after recovery); ``None`` disables
+        blacklisting.
+    speculative:
+        Enable speculative backup attempts for straggling map tasks.
+    speculative_multiplier:
+        A running map attempt is a straggler once its elapsed time exceeds
+        this multiple of the median completed map duration.
     """
+
+    #: Completed map durations needed before the straggler median is trusted.
+    SPECULATIVE_MIN_SAMPLES = 3
 
     def __init__(
         self,
@@ -46,6 +100,11 @@ class JobTracker:
         hdfs: HdfsRaidCluster,
         scheduler: Scheduler,
         failed_nodes: frozenset[int],
+        *,
+        max_attempts: int = 4,
+        blacklist_threshold: int | None = 3,
+        speculative: bool = False,
+        speculative_multiplier: float = 1.5,
     ) -> None:
         self.sim = sim
         self.topology = topology
@@ -53,17 +112,40 @@ class JobTracker:
         self.scheduler = scheduler
         self.failed_nodes = frozenset(failed_nodes)
         self.killed_tasks = 0
+        self.max_attempts = max_attempts
+        self.blacklist_threshold = blacklist_threshold
+        self.speculative = speculative
+        self.speculative_multiplier = speculative_multiplier
 
         self.active_jobs: list[JobTaskState] = []
+        self._jobs_by_id: dict[int, JobTaskState] = {}
         self.metrics: dict[int, JobMetrics] = {}
         self.shuffles: dict[int, JobShuffle] = {}
         self._expected_jobs = 0
         self._finished_jobs = 0
         self.all_done: Event = sim.event(name="all-jobs-done")
 
+        # -- fault-tolerance state ------------------------------------------
+        self.faults = FaultTimeline()
+        #: Last heartbeat instant per node the master believes is alive.
+        self.last_heartbeat: dict[int, float] = {
+            node_id: 0.0
+            for node_id in topology.node_ids()
+            if node_id not in self.failed_nodes
+        }
+        self.blacklisted: set[int] = set()
+        #: Declared deaths per node since its last successful completion.
+        self.consecutive_failures: dict[int, int] = {}
+        self._attempts_by_task: dict[AttemptKey, list[RunningAttempt]] = {}
+        self._attempts_by_node: dict[int, list[RunningAttempt]] = {}
+        self._attempt_counts: dict[AttemptKey, int] = {}
+        self._failure_counts: dict[AttemptKey, int] = {}
+        self._completed_maps: dict[int, set[AttemptKey]] = {}
+        self._map_durations: dict[int, list[float]] = {}
+
     @property
     def finished(self) -> bool:
-        """True once every expected job has completed."""
+        """True once every expected job has completed (or failed)."""
         return self._expected_jobs > 0 and self._finished_jobs >= self._expected_jobs
 
     def expect_jobs(self, count: int) -> None:
@@ -102,21 +184,31 @@ class JobTracker:
             topology=self.topology,
         )
         self.active_jobs.append(state)
+        self._jobs_by_id[job_id] = state
         self.metrics[job_id] = JobMetrics(job_id=job_id, submit_time=self.sim.now)
         self.shuffles[job_id] = JobShuffle(
             self.sim, config.num_reduce_tasks, self.topology
         )
+        self._completed_maps[job_id] = set()
+        self._map_durations[job_id] = []
         return state
 
     def heartbeat(
         self, slave_id: int, free_map_slots: int, free_reduce_slots: int
     ) -> tuple[list[MapAssignment], list[ReduceAssignment]]:
         """Handle one slave heartbeat: delegate to the scheduler, log launches."""
+        self.last_heartbeat[slave_id] = self.sim.now
+        if slave_id in self.blacklisted:
+            return [], []
         if not self.active_jobs:
             return [], []
         maps, reduces = self.scheduler.assign(
             slave_id, free_map_slots, free_reduce_slots, self.active_jobs, self.sim.now
         )
+        if self.speculative and len(maps) < free_map_slots:
+            maps = maps + self._speculative_assignments(
+                slave_id, free_map_slots - len(maps)
+            )
         for assignment in maps:
             self._note_launch(assignment.job_id)
         for assignment in reduces:
@@ -124,17 +216,81 @@ class JobTracker:
         return maps, reduces
 
     def job_state(self, job_id: int) -> JobTaskState:
-        """Look up an active job's scheduling state."""
-        for state in self.active_jobs:
-            if state.job_id == job_id:
-                return state
-        raise KeyError(f"job {job_id} is not active")
+        """Look up an active job's scheduling state (O(1))."""
+        try:
+            return self._jobs_by_id[job_id]
+        except KeyError:
+            raise KeyError(f"job {job_id} is not active") from None
+
+    # -- attempt registry --------------------------------------------------------
+
+    def note_attempt_started(
+        self, assignment: MapAssignment | ReduceAssignment, process: Process | None = None
+    ) -> RunningAttempt:
+        """Register a just-launched attempt so the master can requeue or kill it."""
+        key = _attempt_key(assignment)
+        number = self._attempt_counts.get(key, 0) + 1
+        self._attempt_counts[key] = number
+        attempt = RunningAttempt(
+            key=key,
+            assignment=assignment,
+            process=process,
+            launch_time=self.sim.now,
+            number=number,
+        )
+        self._attempts_by_task.setdefault(key, []).append(attempt)
+        self._attempts_by_node.setdefault(assignment.slave_id, []).append(attempt)
+        return attempt
+
+    def attempt_of(self, assignment: MapAssignment | ReduceAssignment) -> int:
+        """Attempt number of a registered in-flight assignment (1 if unknown)."""
+        for attempt in self._attempts_by_task.get(_attempt_key(assignment), []):
+            if attempt.assignment == assignment:
+                return attempt.number
+        return 1
+
+    def _deregister(self, assignment: MapAssignment | ReduceAssignment) -> None:
+        key = _attempt_key(assignment)
+        attempts = self._attempts_by_task.get(key, [])
+        for attempt in attempts:
+            if attempt.assignment == assignment:
+                attempts.remove(attempt)
+                node_list = self._attempts_by_node.get(assignment.slave_id, [])
+                if attempt in node_list:
+                    node_list.remove(attempt)
+                break
+        if not attempts:
+            self._attempts_by_task.pop(key, None)
 
     # -- completion callbacks ---------------------------------------------------
 
-    def on_map_complete(self, record: TaskRecord, shuffle_bytes: float) -> None:
-        """A map task finished: account it, deposit shuffle data."""
-        state = self.job_state(record.job_id)
+    def on_map_complete(
+        self,
+        record: TaskRecord,
+        shuffle_bytes: float,
+        assignment: MapAssignment | None = None,
+    ) -> None:
+        """A map task finished: account it, deposit shuffle data.
+
+        ``assignment`` identifies the attempt for speculative-execution and
+        retry bookkeeping; without it (unit-test convenience) the completion
+        is taken at face value.
+        """
+        if assignment is not None:
+            self._deregister(assignment)
+            self.consecutive_failures[assignment.slave_id] = 0
+            state = self._jobs_by_id.get(record.job_id)
+            if state is None:
+                return  # the job was abandoned while this attempt ran
+            key = _attempt_key(assignment)
+            completed = self._completed_maps[record.job_id]
+            if key in completed:
+                return  # a sibling attempt won the race first
+            completed.add(key)
+            self._kill_other_attempts(key, record.job_id)
+            self._map_durations[record.job_id].append(record.runtime)
+        else:
+            state = self.job_state(record.job_id)
         state.on_map_complete()
         self.metrics[record.job_id].tasks.append(record)
         shuffle = self.shuffles[record.job_id]
@@ -144,9 +300,18 @@ class JobTracker:
             if state.job_completed():
                 self._finish_job(state)
 
-    def on_reduce_complete(self, record: TaskRecord) -> None:
+    def on_reduce_complete(
+        self, record: TaskRecord, assignment: ReduceAssignment | None = None
+    ) -> None:
         """A reduce task finished."""
-        state = self.job_state(record.job_id)
+        if assignment is not None:
+            self._deregister(assignment)
+            self.consecutive_failures[assignment.slave_id] = 0
+            state = self._jobs_by_id.get(record.job_id)
+            if state is None:
+                return
+        else:
+            state = self.job_state(record.job_id)
         state.on_reduce_complete()
         self.metrics[record.job_id].tasks.append(record)
         if state.job_completed():
@@ -161,7 +326,9 @@ class JobTracker:
         the EDF guard's live-node view shrinks.  Killing the node's *running*
         tasks is the slave runtime's job (it holds the processes) -- see
         :meth:`on_map_task_killed` / :meth:`on_reduce_task_killed` for the
-        requeue half.
+        requeue half (or :meth:`declare_dead`, which requeues from the
+        master's own in-flight registry when the death was detected rather
+        than scripted).
 
         Simplification (documented in DESIGN.md): intermediate map outputs
         already shuffled out of the node survive; Hadoop would re-execute
@@ -171,43 +338,228 @@ class JobTracker:
         if node_id in self.failed_nodes:
             return
         self.failed_nodes = self.failed_nodes | {node_id}
+        self.last_heartbeat.pop(node_id, None)
         self.hdfs.block_map.check_recoverable(self.failed_nodes)
         live = self.scheduler.context.live_nodes
         if isinstance(live, set):
             live.discard(node_id)
         for state in self.active_jobs:
             state.on_node_failure(node_id)
+        count = self.consecutive_failures.get(node_id, 0) + 1
+        self.consecutive_failures[node_id] = count
+        if (
+            self.blacklist_threshold is not None
+            and count >= self.blacklist_threshold
+            and node_id not in self.blacklisted
+        ):
+            self.blacklisted.add(node_id)
+            self.faults.blacklistings.append(
+                BlacklistRecord(
+                    node=node_id, at=self.sim.now, consecutive_failures=count
+                )
+            )
+
+    def declare_dead(self, node_id: int, failed_at: float | None = None) -> None:
+        """Heartbeat expiry fired: declare the node dead and requeue its work.
+
+        ``failed_at`` is the ground-truth crash instant (from the failure
+        schedule), recorded purely so detection latency is measurable; the
+        master's actual decision uses only heartbeat timestamps.
+        """
+        if node_id in self.failed_nodes:
+            return
+        detected_at = self.sim.now
+        self.faults.detections.append(
+            DetectionRecord(
+                node=node_id,
+                failed_at=detected_at if failed_at is None else failed_at,
+                detected_at=detected_at,
+            )
+        )
+        self.fail_node(node_id)
+        self.requeue_node_attempts(node_id)
+
+    def requeue_node_attempts(self, node_id: int) -> None:
+        """Hand every in-flight attempt of a (formerly) dead node back.
+
+        Called by :meth:`declare_dead`, and directly by the slave runtime
+        when a crashed node recovers *before* the expiry fired: the
+        rejoining tracker reports empty slots, so its old attempts are
+        requeued at that instant instead.
+        """
+        for attempt in list(self._attempts_by_node.get(node_id, [])):
+            if attempt.key[0] == "map":
+                self.on_map_task_killed(attempt.assignment)
+            else:
+                self.on_reduce_task_killed(attempt.assignment)
+        self._attempts_by_node.pop(node_id, None)
+
+    def recover_node(self, node_id: int) -> int:
+        """A failed node rejoined: restore it to the live view.
+
+        Its stored blocks are readable again, so each job reclaims pending
+        degraded tasks whose block came back.  A blacklisted node rejoins
+        the cluster but stays out of the live-node view and receives no
+        assignments.  Returns the number of reclaimed tasks.
+        """
+        if node_id not in self.failed_nodes:
+            return 0
+        self.failed_nodes = self.failed_nodes - {node_id}
+        self.last_heartbeat[node_id] = self.sim.now
+        if node_id not in self.blacklisted:
+            live = self.scheduler.context.live_nodes
+            if isinstance(live, set):
+                live.add(node_id)
+        reclaimed = sum(
+            state.on_node_recovery(node_id) for state in self.active_jobs
+        )
+        self.faults.recoveries.append(
+            RecoveryRecord(node=node_id, at=self.sim.now, reclaimed_tasks=reclaimed)
+        )
+        return reclaimed
 
     def on_map_task_killed(self, assignment: MapAssignment) -> None:
-        """A running map task died with its node: requeue it."""
-        state = self.job_state(assignment.job_id)
-        home = self.hdfs.node_of(assignment.block)
-        from repro.mapreduce.job import MapTaskCategory
+        """A running map attempt died with its node: account it, maybe requeue.
 
+        Charges the attempt against the task's retry budget (failing the
+        job cleanly when exhausted) and only requeues when no sibling
+        attempt is still running -- a surviving speculative copy already
+        carries the task.
+        """
+        self._deregister(assignment)
+        state = self._jobs_by_id.get(assignment.job_id)
+        if state is None:
+            return  # the job was already abandoned
+        self.killed_tasks += 1
+        self.metrics[assignment.job_id].killed_attempts += 1
+        key = _attempt_key(assignment)
+        failures = self._failure_counts.get(key, 0) + 1
+        self._failure_counts[key] = failures
+        if failures >= self.max_attempts:
+            self._fail_job(
+                state,
+                f"map task for block {assignment.block} failed {failures} "
+                f"time(s), exhausting max_attempts={self.max_attempts}",
+            )
+            return
+        if self._attempts_by_task.get(key):
+            return  # a sibling (speculative) attempt is still running
+        home = self.hdfs.node_of(assignment.block)
         state.requeue_killed_map(
             assignment.block,
             was_degraded=assignment.category is MapTaskCategory.DEGRADED,
             lost=home in self.failed_nodes,
         )
-        self.killed_tasks += 1
 
     def on_reduce_task_killed(self, assignment: ReduceAssignment) -> None:
-        """A running reduce task died with its node: requeue and reset it."""
-        state = self.job_state(assignment.job_id)
+        """A running reduce attempt died with its node: requeue and reset it."""
+        self._deregister(assignment)
+        state = self._jobs_by_id.get(assignment.job_id)
+        if state is None:
+            return
+        self.killed_tasks += 1
+        self.metrics[assignment.job_id].killed_attempts += 1
+        key = _attempt_key(assignment)
+        failures = self._failure_counts.get(key, 0) + 1
+        self._failure_counts[key] = failures
+        if failures >= self.max_attempts:
+            self._fail_job(
+                state,
+                f"reduce task {assignment.reduce_index} failed {failures} "
+                f"time(s), exhausting max_attempts={self.max_attempts}",
+            )
+            return
         state.requeue_killed_reduce(assignment.reduce_index)
         self.shuffles[assignment.job_id].reset_reducer(assignment.reduce_index)
-        self.killed_tasks += 1
+
+    # -- speculative execution ---------------------------------------------------
+
+    def _speculative_assignments(
+        self, slave_id: int, free_slots: int
+    ) -> list[MapAssignment]:
+        """Backup attempts for straggling maps, once a job's maps are dispatched."""
+        assignments: list[MapAssignment] = []
+        for job in self.active_jobs:
+            if free_slots == 0:
+                break
+            if job.has_unassigned_maps() or job.maps_all_completed():
+                continue
+            durations = self._map_durations.get(job.job_id, ())
+            if len(durations) < self.SPECULATIVE_MIN_SAMPLES:
+                continue
+            cutoff = self.speculative_multiplier * statistics.median(durations)
+            for key, attempts in list(self._attempts_by_task.items()):
+                if free_slots == 0:
+                    break
+                if key[0] != "map" or key[1] != job.job_id:
+                    continue
+                if len(attempts) != 1:
+                    continue  # already has a backup (or is being torn down)
+                (running,) = attempts
+                if running.assignment.slave_id == slave_id:
+                    continue  # a backup must run elsewhere
+                if self.sim.now - running.launch_time <= cutoff:
+                    continue
+                backup = MapAssignment(
+                    job_id=job.job_id,
+                    block=running.assignment.block,
+                    category=self._classify_block(running.assignment.block, slave_id),
+                    slave_id=slave_id,
+                    speculative=True,
+                )
+                assignments.append(backup)
+                self.metrics[job.job_id].speculative_launched += 1
+                free_slots -= 1
+        return assignments
+
+    def _classify_block(self, block, slave_id: int) -> MapTaskCategory:
+        """Locality category of running ``block`` on ``slave_id`` right now."""
+        home = self.hdfs.node_of(block)
+        if home in self.failed_nodes:
+            return MapTaskCategory.DEGRADED
+        if home == slave_id:
+            return MapTaskCategory.NODE_LOCAL
+        if self.topology.rack_of(home) == self.topology.rack_of(slave_id):
+            return MapTaskCategory.RACK_LOCAL
+        return MapTaskCategory.REMOTE
+
+    def _kill_other_attempts(self, key: AttemptKey, job_id: int) -> None:
+        """First finisher won: interrupt every sibling attempt of ``key``."""
+        for attempt in list(self._attempts_by_task.get(key, [])):
+            if attempt.process is not None:
+                attempt.process.interrupt("speculative-kill")
+            self._deregister(attempt.assignment)
+            self.metrics[job_id].speculative_killed += 1
 
     # -- internals ------------------------------------------------------------------
 
     def _note_launch(self, job_id: int) -> None:
         metrics = self.metrics[job_id]
-        if metrics.first_launch_time != metrics.first_launch_time:  # NaN check
+        if math.isnan(metrics.first_launch_time):
             metrics.first_launch_time = self.sim.now
 
     def _finish_job(self, state: JobTaskState) -> None:
         self.metrics[state.job_id].finish_time = self.sim.now
+        self._retire_job(state)
+
+    def _fail_job(self, state: JobTaskState, reason: str) -> None:
+        """Abandon a job cleanly: record why, kill its attempts, retire it."""
+        metrics = self.metrics[state.job_id]
+        metrics.failed = True
+        metrics.failure_reason = reason
+        metrics.finish_time = self.sim.now
+        for key, attempts in list(self._attempts_by_task.items()):
+            if key[1] != state.job_id:
+                continue
+            for attempt in list(attempts):
+                if attempt.process is not None:
+                    attempt.process.interrupt("job-aborted")
+                self._deregister(attempt.assignment)
+        self._retire_job(state)
+
+    def _retire_job(self, state: JobTaskState) -> None:
         self.active_jobs.remove(state)
+        del self._jobs_by_id[state.job_id]
         self._finished_jobs += 1
         if self.finished and not self.all_done.fired:
             self.all_done.succeed()

@@ -11,6 +11,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.faults.records import FaultTimeline
 from repro.mapreduce.job import MapTaskCategory, TaskKind
 
 
@@ -20,7 +21,9 @@ class TaskRecord:
 
     Times are simulation seconds.  ``download_time`` is the degraded-read
     or remote-fetch duration (0 for node-local tasks); for reduce tasks it
-    is the total time spent with shuffle flows outstanding.
+    is the total time spent with shuffle flows outstanding.  ``attempt``
+    counts launches of the same task (1 = first try); ``speculative`` marks
+    a backup attempt that won the race against a straggler.
     """
 
     job_id: int
@@ -30,6 +33,8 @@ class TaskRecord:
     launch_time: float
     download_time: float = 0.0
     finish_time: float = math.nan
+    attempt: int = 1
+    speculative: bool = False
 
     @property
     def runtime(self) -> float:
@@ -46,11 +51,29 @@ class JobMetrics:
     first_launch_time: float = math.nan
     finish_time: float = math.nan
     tasks: list[TaskRecord] = field(default_factory=list)
+    #: True when the job was abandoned (a task exhausted its retry budget).
+    failed: bool = False
+    failure_reason: str | None = None
+    #: Attempts killed by node failures (requeued for re-execution).
+    killed_attempts: int = 0
+    #: Speculative backups launched / interrupted because the other copy won.
+    speculative_launched: int = 0
+    speculative_killed: int = 0
 
     @property
     def runtime(self) -> float:
         """The paper's MapReduce runtime: first launch to last completion."""
         return self.finish_time - self.first_launch_time
+
+    @property
+    def total_attempts(self) -> int:
+        """Every attempt launched for this job: completions plus kills."""
+        return len(self.tasks) + self.killed_attempts + self.speculative_killed
+
+    @property
+    def max_task_attempt(self) -> int:
+        """Highest attempt number any completed task needed."""
+        return max((task.attempt for task in self.tasks), default=0)
 
     @property
     def makespan(self) -> float:
@@ -114,6 +137,9 @@ class SimulationResult:
     #: Per-job (deposited, drained) shuffle byte totals; equal when every
     #: reducer fetched everything the maps emitted.
     shuffle_totals: dict[int, tuple[float, float]] = field(default_factory=dict)
+    #: Fault-tolerance observations: detection latencies, blacklistings,
+    #: recoveries, slowdowns (empty timeline for failure-free trials).
+    faults: FaultTimeline = field(default_factory=FaultTimeline)
 
     @property
     def total_runtime(self) -> float:

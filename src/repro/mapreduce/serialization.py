@@ -21,6 +21,7 @@ from typing import Any
 
 from repro.cluster.failures import FailurePattern
 from repro.ec.codec import CodeParams
+from repro.faults.schedule import FailureSchedule
 from repro.mapreduce.config import JobConfig, SimulationConfig
 from repro.storage.degraded import SourceSelection
 
@@ -34,6 +35,8 @@ def config_to_dict(config: SimulationConfig) -> dict[str, Any]:
     payload["jobs"] = [dataclasses.asdict(job) for job in config.jobs]
     if config.speed_factors is not None:
         payload["speed_factors"] = list(config.speed_factors)
+    if config.failure_schedule is not None:
+        payload["failure_schedule"] = config.failure_schedule.to_dict()
     return payload
 
 
@@ -66,6 +69,9 @@ def config_from_dict(payload: dict[str, Any]) -> SimulationConfig:
         kwargs["speed_factors"] = tuple(kwargs["speed_factors"])
     if kwargs.get("failure_eligible") is not None:
         kwargs["failure_eligible"] = tuple(kwargs["failure_eligible"])
+    schedule = kwargs.get("failure_schedule")
+    if schedule is not None and not isinstance(schedule, FailureSchedule):
+        kwargs["failure_schedule"] = FailureSchedule.from_dict(schedule)
     return SimulationConfig(**kwargs)
 
 

@@ -1,8 +1,12 @@
 """Top-level simulation entry point.
 
 ``run_simulation(config)`` builds the cluster, storage, scheduler, master
-and slaves, injects the configured failure, runs the event loop to
-completion and returns a :class:`~repro.mapreduce.metrics.SimulationResult`.
+and slaves, injects the configured failure (an at-start pattern, a deferred
+strike, or a scripted :class:`~repro.faults.schedule.FailureSchedule`), runs
+the event loop to completion and returns a
+:class:`~repro.mapreduce.metrics.SimulationResult`.  A job that exhausts its
+retry budget aborts the trial with a
+:class:`~repro.faults.errors.JobFailedError` carrying the partial result.
 """
 
 from __future__ import annotations
@@ -11,10 +15,12 @@ from repro.cluster.failures import FailureInjector
 from repro.cluster.nodetree import NodeTree
 from repro.cluster.topology import ClusterTopology
 from repro.core.scheduler import SchedulerContext, make_scheduler
+from repro.faults.driver import failure_detector_process, install_schedule
+from repro.faults.errors import JobFailedError
 from repro.mapreduce.config import SimulationConfig
 from repro.mapreduce.master import JobTracker
 from repro.mapreduce.metrics import SimulationResult
-from repro.mapreduce.slave import SlaveRuntime, slave_process
+from repro.mapreduce.slave import SlaveRuntime
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 from repro.storage.hdfs import HdfsRaidCluster
@@ -67,16 +73,26 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
         source_selection=config.source_selection,
     )
 
-    injector = FailureInjector(config.failure)
-    eligible = list(config.failure_eligible) if config.failure_eligible else None
-    chosen_victims = injector.choose_failed_nodes(topology, rng, eligible)
+    if config.failure_schedule is not None:
+        # Scripted churn: t=0 fail events are down-before-start (the paper's
+        # setting); everything later is replayed mid-run by the driver and
+        # detected by the master from heartbeat expiry.
+        schedule = config.failure_schedule
+        schedule.validate(topology)
+        chosen_victims = schedule.initial_failures(topology)
+        deferred_failure = False
+        initial_failed = chosen_victims
+    else:
+        injector = FailureInjector(config.failure)
+        eligible = list(config.failure_eligible) if config.failure_eligible else None
+        chosen_victims = injector.choose_failed_nodes(topology, rng, eligible)
+        # With a failure_time, the cluster starts healthy and the victims die
+        # mid-run; otherwise they are down from the beginning.
+        deferred_failure = config.failure_time is not None and bool(chosen_victims)
+        initial_failed = frozenset() if deferred_failure else chosen_victims
+
     if chosen_victims:
         hdfs.block_map.check_recoverable(chosen_victims)
-
-    # With a failure_time, the cluster starts healthy and the victims die
-    # mid-run; otherwise they are down from the beginning.
-    deferred_failure = config.failure_time is not None and bool(chosen_victims)
-    initial_failed = frozenset() if deferred_failure else chosen_victims
 
     scheduler = make_scheduler(
         config.scheduler,
@@ -90,7 +106,17 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
     )
 
     nodetree = NodeTree(sim, topology, config.network_spec(), model=config.network_model)
-    tracker = JobTracker(sim, topology, hdfs, scheduler, initial_failed)
+    tracker = JobTracker(
+        sim,
+        topology,
+        hdfs,
+        scheduler,
+        initial_failed,
+        max_attempts=config.max_attempts,
+        blacklist_threshold=config.blacklist_threshold,
+        speculative=config.speculative,
+        speculative_multiplier=config.speculative_multiplier,
+    )
     tracker.expect_jobs(len(config.jobs))
     runtime = SlaveRuntime(sim, config, tracker, nodetree, hdfs.planner, rng)
 
@@ -101,6 +127,9 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
                 job_id, job_config
             ),
         )
+
+    if config.failure_schedule is not None:
+        install_schedule(config.failure_schedule, runtime, topology)
 
     if deferred_failure:
 
@@ -113,12 +142,14 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
     for node_id in sorted(topology.node_ids()):
         if node_id in initial_failed:
             continue
-        sim.spawn(slave_process(runtime, node_id), name=f"slave:{node_id}")
+        runtime.spawn_slave(node_id)
+
+    sim.spawn(failure_detector_process(runtime), name="failure-detector")
 
     sim.run()
     if not tracker.finished:
         raise RuntimeError("simulation ended before all jobs completed")
-    return SimulationResult(
+    result = SimulationResult(
         jobs=tracker.metrics,
         failed_nodes=tracker.failed_nodes,
         scheduler=config.scheduler,
@@ -127,4 +158,15 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
             job_id: (shuffle.total_deposited, shuffle.total_drained)
             for job_id, shuffle in tracker.shuffles.items()
         },
+        faults=tracker.faults,
     )
+    failed_jobs = sorted(
+        job_id for job_id, metrics in tracker.metrics.items() if metrics.failed
+    )
+    if failed_jobs:
+        reasons = "; ".join(
+            f"job {job_id}: {tracker.metrics[job_id].failure_reason}"
+            for job_id in failed_jobs
+        )
+        raise JobFailedError(f"{len(failed_jobs)} job(s) failed -- {reasons}", result)
+    return result

@@ -5,6 +5,16 @@ Each live node runs a *slave process* that heartbeats the master every
 one *task runner* process per assignment.  Map runners perform the remote
 fetch or degraded read over the NodeTree before processing; reduce runners
 drain shuffle data as maps complete and process once the map phase ends.
+
+Fault semantics (see :mod:`repro.faults`): a *crash* kills the slave loop
+and its task processes silently -- the master only notices once heartbeats
+expire and requeues from its own in-flight registry.  The legacy
+:meth:`SlaveRuntime.fail_node` keeps the omniscient behaviour (master told
+instantly, killed tasks reported back) for the paper's original at-strike
+experiments.  Task processes distinguish interrupt causes: ``"crash"``
+(die silently), ``"speculative-kill"`` / ``"job-aborted"`` (die but release
+the slot -- the node is alive), and node-failure kills (hand the task back
+for re-execution).
 """
 
 from __future__ import annotations
@@ -20,6 +30,9 @@ from repro.sim.engine import Interrupt, Process, Simulator, Timeout
 from repro.sim.resources import Semaphore
 from repro.sim.rng import RngStreams
 from repro.storage.degraded import DegradedReadPlanner
+
+#: Interrupt causes after which the slot is released (the node is alive).
+_RELEASE_SLOT_CAUSES = ("speculative-kill", "job-aborted")
 
 
 class SlaveRuntime:
@@ -52,13 +65,97 @@ class SlaveRuntime:
         self._running: dict[int, set[Process]] = {
             node.node_id: set() for node in topology.nodes
         }
+        #: Ground-truth crash instants (nodes dead but possibly undetected).
+        self.crash_times: dict[int, float] = {}
+        self._slowdowns: dict[int, float] = {}
+        self._slave_procs: dict[int, Process] = {}
+
+    def spawn_slave(self, node_id: int) -> Process:
+        """Start (or restart, after recovery) the heartbeat loop of a node."""
+        process = self.sim.spawn(
+            slave_process(self, node_id), name=f"slave:{node_id}"
+        )
+        self._slave_procs[node_id] = process
+        return process
 
     def fail_node(self, node_id: int) -> None:
-        """Kill a node mid-run: master bookkeeping, then its live tasks."""
+        """Kill a node mid-run *omnisciently*: master told, then live tasks.
+
+        This is the paper's original at-strike semantics.  Scripted
+        schedules use :meth:`crash_node` instead, where the master must
+        detect the death from heartbeat expiry.
+        """
         self.tracker.fail_node(node_id)
+        self.crash_times.setdefault(node_id, self.sim.now)
+        self._slowdowns.pop(node_id, None)
+        slave = self._slave_procs.pop(node_id, None)
+        if slave is not None:
+            slave.interrupt("crash")
         for process in list(self._running[node_id]):
             process.interrupt("node-failure")
         self._running[node_id].clear()
+
+    def crash_node(self, node_id: int) -> None:
+        """Kill a node silently: heartbeats stop, its processes die.
+
+        The master is *not* informed; it declares the node dead once the
+        heartbeat-expiry detector fires, and requeues the lost attempts
+        from its in-flight registry at that point.
+        """
+        if node_id in self.crash_times or node_id in self.tracker.failed_nodes:
+            return
+        self.crash_times[node_id] = self.sim.now
+        self._slowdowns.pop(node_id, None)
+        slave = self._slave_procs.pop(node_id, None)
+        if slave is not None:
+            slave.interrupt("crash")
+        for process in list(self._running[node_id]):
+            process.interrupt("crash")
+        self._running[node_id].clear()
+
+    def recover_node(self, node_id: int) -> None:
+        """A dead node rejoins: fresh slots, fresh heartbeat loop.
+
+        Whatever ran on the node died with it, so the slot semaphores are
+        recreated at full capacity.  If the node recovered *before* the
+        expiry detector declared it dead, the rejoining (empty) tracker
+        tells the master its old attempts are gone and they are requeued
+        immediately.
+        """
+        if node_id in self.tracker.failed_nodes:
+            self.tracker.recover_node(node_id)
+        elif node_id in self.crash_times:
+            self.tracker.last_heartbeat[node_id] = self.sim.now
+            self.tracker.requeue_node_attempts(node_id)
+        else:
+            return  # the node was never down
+        self.crash_times.pop(node_id, None)
+        node = self.tracker.topology.node(node_id)
+        self.map_slots[node_id] = Semaphore(
+            self.sim, node.map_slots, name=f"map:{node_id}"
+        )
+        self.reduce_slots[node_id] = Semaphore(
+            self.sim, node.reduce_slots, name=f"reduce:{node_id}"
+        )
+        self._running[node_id] = set()
+        self.spawn_slave(node_id)
+
+    # -- slowdowns --------------------------------------------------------------
+
+    def begin_slowdown(self, node_id: int, factor: float) -> None:
+        """Scale a node's processing speed down by ``factor`` (stacking)."""
+        self._slowdowns[node_id] = self._slowdowns.get(node_id, 1.0) * factor
+
+    def end_slowdown(self, node_id: int, factor: float) -> None:
+        """Undo one :meth:`begin_slowdown` (no-op if a crash cleared it)."""
+        current = self._slowdowns.get(node_id)
+        if current is None:
+            return
+        remaining = current / factor
+        if abs(remaining - 1.0) < 1e-12:
+            self._slowdowns.pop(node_id)
+        else:
+            self._slowdowns[node_id] = remaining
 
     def _register(self, node_id: int, process: Process) -> None:
         self._running[node_id].add(process)
@@ -67,8 +164,9 @@ class SlaveRuntime:
         self._running[node_id].discard(process)
 
     def speed_of(self, node_id: int) -> float:
-        """Compute speed factor of a node."""
-        return self.tracker.topology.node(node_id).speed_factor
+        """Effective speed factor of a node (including active slowdowns)."""
+        base = self.tracker.topology.node(node_id).speed_factor
+        return base / self._slowdowns.get(node_id, 1.0)
 
 
 def slave_process(runtime: SlaveRuntime, node_id: int) -> Generator:
@@ -87,7 +185,7 @@ def slave_process(runtime: SlaveRuntime, node_id: int) -> Generator:
         offset = runtime.rng.stream(f"heartbeat:{node_id}").uniform(0.0, interval)
         yield Timeout(offset)
     while not tracker.finished:
-        if node_id in tracker.failed_nodes:
+        if node_id in tracker.failed_nodes or node_id in runtime.crash_times:
             return  # this slave just died
         free_map = runtime.map_slots[node_id].available
         free_reduce = runtime.reduce_slots[node_id].available
@@ -102,6 +200,7 @@ def slave_process(runtime: SlaveRuntime, node_id: int) -> Generator:
                 name=f"map:{assignment.job_id}:{assignment.block}",
             )
             runtime._register(node_id, process)
+            tracker.note_attempt_started(assignment, process)
         for assignment in reduces:
             if not runtime.reduce_slots[node_id].try_acquire():
                 raise RuntimeError(
@@ -112,6 +211,7 @@ def slave_process(runtime: SlaveRuntime, node_id: int) -> Generator:
                 name=f"reduce:{assignment.job_id}:{assignment.reduce_index}",
             )
             runtime._register(node_id, process)
+            tracker.note_attempt_started(assignment, process)
         yield Timeout(interval)
 
 
@@ -119,14 +219,21 @@ def map_task_process(runtime: SlaveRuntime, assignment: MapAssignment) -> Genera
     """Execute one map task: fetch (if needed), process, report.
 
     If the hosting node fails mid-task, the process receives an
-    :class:`~repro.sim.engine.Interrupt` and hands the task back to the
-    master for re-execution elsewhere; the dead node's slot is not
-    released.
+    :class:`~repro.sim.engine.Interrupt`.  What happens next depends on the
+    cause: an omniscient node failure hands the task straight back to the
+    master; a silent crash does nothing (the master requeues once it
+    detects the death); a speculative kill or job abort releases the slot
+    (the node is alive) and drops the work.
     """
     try:
         yield from _map_task_body(runtime, assignment)
-    except Interrupt:
-        runtime.tracker.on_map_task_killed(assignment)
+    except Interrupt as interrupt:
+        if interrupt.cause == "crash":
+            pass
+        elif interrupt.cause in _RELEASE_SLOT_CAUSES:
+            runtime.map_slots[assignment.slave_id].release()
+        else:
+            runtime.tracker.on_map_task_killed(assignment)
 
 
 def _map_task_body(runtime: SlaveRuntime, assignment: MapAssignment) -> Generator:
@@ -139,6 +246,8 @@ def _map_task_body(runtime: SlaveRuntime, assignment: MapAssignment) -> Generato
         category=assignment.category,
         slave_id=assignment.slave_id,
         launch_time=sim.now,
+        attempt=runtime.tracker.attempt_of(assignment),
+        speculative=assignment.speculative,
     )
 
     if assignment.category is MapTaskCategory.DEGRADED:
@@ -176,7 +285,7 @@ def _map_task_body(runtime: SlaveRuntime, assignment: MapAssignment) -> Generato
     record.finish_time = sim.now
     shuffle_bytes = config.block_size * job.config.shuffle_ratio
     runtime.map_slots[assignment.slave_id].release()
-    runtime.tracker.on_map_complete(record, shuffle_bytes)
+    runtime.tracker.on_map_complete(record, shuffle_bytes, assignment)
 
 
 def reduce_task_process(runtime: SlaveRuntime, assignment: ReduceAssignment) -> Generator:
@@ -188,8 +297,13 @@ def reduce_task_process(runtime: SlaveRuntime, assignment: ReduceAssignment) -> 
     """
     try:
         yield from _reduce_task_body(runtime, assignment)
-    except Interrupt:
-        runtime.tracker.on_reduce_task_killed(assignment)
+    except Interrupt as interrupt:
+        if interrupt.cause == "crash":
+            pass
+        elif interrupt.cause in _RELEASE_SLOT_CAUSES:
+            runtime.reduce_slots[assignment.slave_id].release()
+        else:
+            runtime.tracker.on_reduce_task_killed(assignment)
 
 
 def _reduce_task_body(runtime: SlaveRuntime, assignment: ReduceAssignment) -> Generator:
@@ -202,6 +316,7 @@ def _reduce_task_body(runtime: SlaveRuntime, assignment: ReduceAssignment) -> Ge
         category=None,
         slave_id=assignment.slave_id,
         launch_time=sim.now,
+        attempt=runtime.tracker.attempt_of(assignment),
     )
     shuffling_time = 0.0
     while True:
@@ -231,4 +346,4 @@ def _reduce_task_body(runtime: SlaveRuntime, assignment: ReduceAssignment) -> Ge
 
     record.finish_time = sim.now
     runtime.reduce_slots[assignment.slave_id].release()
-    runtime.tracker.on_reduce_complete(record)
+    runtime.tracker.on_reduce_complete(record, assignment)

@@ -18,7 +18,7 @@ import json
 import math
 
 from repro.mapreduce.job import TaskKind
-from repro.mapreduce.metrics import SimulationResult, TaskRecord
+from repro.mapreduce.metrics import SimulationResult
 
 #: Characters used by the ASCII chart.
 _PROCESS_CHAR = {"map": "#", "reduce": "R"}
@@ -40,6 +40,8 @@ def to_records(result: SimulationResult) -> list[dict]:
                     "download_time": round(task.download_time, 6),
                     "finish_time": round(task.finish_time, 6),
                     "runtime": round(task.runtime, 6),
+                    "attempt": task.attempt,
+                    "speculative": task.speculative,
                 }
             )
     records.sort(key=lambda r: (r["launch_time"], r["slave_id"]))
@@ -58,8 +60,35 @@ def to_json(result: SimulationResult, indent: int | None = None) -> str:
                 "first_launch_time": job.first_launch_time,
                 "finish_time": job.finish_time,
                 "runtime": job.runtime,
+                "failed": job.failed,
+                "killed_attempts": job.killed_attempts,
+                "speculative_launched": job.speculative_launched,
+                "speculative_killed": job.speculative_killed,
             }
             for job_id, job in sorted(result.jobs.items())
+        },
+        "faults": {
+            "detections": [
+                {
+                    "node": record.node,
+                    "failed_at": record.failed_at,
+                    "detected_at": record.detected_at,
+                    "latency": record.latency,
+                }
+                for record in result.faults.detections
+            ],
+            "blacklistings": [
+                {"node": record.node, "at": record.at}
+                for record in result.faults.blacklistings
+            ],
+            "recoveries": [
+                {
+                    "node": record.node,
+                    "at": record.at,
+                    "reclaimed_tasks": record.reclaimed_tasks,
+                }
+                for record in result.faults.recoveries
+            ],
         },
         "tasks": to_records(result),
     }
@@ -73,6 +102,7 @@ def write_csv(result: SimulationResult, stream: io.TextIOBase | None = None) -> 
     fields = [
         "job_id", "kind", "category", "slave_id",
         "launch_time", "download_time", "finish_time", "runtime",
+        "attempt", "speculative",
     ]
     writer = csv.DictWriter(buffer, fieldnames=fields)
     writer.writeheader()
