@@ -48,7 +48,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="load the simulation configuration from a JSON file "
         "(other flags are ignored except --timeline/--json)",
     )
-    simulate.add_argument("--scheduler", default="EDF", choices=["LF", "BDF", "EDF"])
+    simulate.add_argument(
+        "--scheduler", default="EDF", type=str.upper, choices=["LF", "BDF", "EDF"]
+    )
     simulate.add_argument("--nodes", type=int, default=40)
     simulate.add_argument("--racks", type=int, default=4)
     simulate.add_argument("--map-slots", type=int, default=4)
@@ -103,6 +105,26 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="also write the full task trace as JSON",
     )
+    simulate.add_argument(
+        "--events",
+        dest="events_path",
+        metavar="FILE",
+        help="record the trial's structured event log as JSON Lines",
+    )
+    simulate.add_argument(
+        "--chrome-trace",
+        dest="chrome_trace_path",
+        metavar="FILE",
+        help="write a Chrome trace-event JSON of the task timeline "
+        "(open with Perfetto or chrome://tracing)",
+    )
+    simulate.add_argument(
+        "--utilization-report",
+        dest="utilization_report_path",
+        metavar="FILE",
+        help="write a plain-text slot/link utilization and profiling report "
+        "('-' prints to stdout)",
+    )
 
     return parser
 
@@ -127,7 +149,6 @@ def _cmd_run(names: list[str]) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.mapreduce.config import JobConfig, SimulationConfig
-    from repro.mapreduce.simulation import run_simulation
 
     if args.config_path:
         from repro.mapreduce.serialization import load_config
@@ -169,9 +190,14 @@ def _report_simulation(args: argparse.Namespace, config) -> int:
     from repro.faults import JobFailedError
     from repro.mapreduce.simulation import run_simulation
 
+    observer = None
+    if args.events_path or args.utilization_report_path:
+        from repro.obs import ObservabilityCollector
+
+        observer = ObservabilityCollector()
     failure: JobFailedError | None = None
     try:
-        result = run_simulation(config)
+        result = run_simulation(config, observer=observer)
     except JobFailedError as error:
         if error.result is None:
             print(f"job failed: {error}", file=sys.stderr)
@@ -194,13 +220,47 @@ def _report_simulation(args: argparse.Namespace, config) -> int:
     if args.json_path:
         from repro.mapreduce.trace import to_json
 
-        with open(args.json_path, "w") as handle:
-            handle.write(to_json(result, indent=2))
+        if not _write_output(args.json_path, to_json(result, indent=2) + "\n"):
+            return 2
         print(f"trace written to {args.json_path}")
+    if args.events_path:
+        from repro.obs import events_jsonl
+
+        if not _write_output(args.events_path, events_jsonl(observer.events)):
+            return 2
+        print(f"event log written to {args.events_path}")
+    if args.chrome_trace_path:
+        from repro.obs import chrome_trace_json
+
+        if not _write_output(args.chrome_trace_path, chrome_trace_json(result)):
+            return 2
+        print(f"chrome trace written to {args.chrome_trace_path}")
+    if args.utilization_report_path:
+        report = observer.render_utilization_report()
+        if args.utilization_report_path == "-":
+            print()
+            print(report, end="")
+        elif _write_output(args.utilization_report_path, report):
+            print(f"utilization report written to {args.utilization_report_path}")
+        else:
+            return 2
     if failure is not None:
         print(f"job failed: {failure}", file=sys.stderr)
         return 1
     return 0
+
+
+def _write_output(path: str, text: str) -> bool:
+    """Write an export, creating parent directories; False (and a clean
+    stderr message) instead of a traceback when the path is unwritable."""
+    from repro.obs import write_text
+
+    try:
+        write_text(path, text)
+    except OSError as error:
+        print(f"cannot write {path!r}: {error}", file=sys.stderr)
+        return False
+    return True
 
 
 def _report_faults(result) -> int:

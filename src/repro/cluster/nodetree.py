@@ -72,6 +72,17 @@ class NodeTree:
             self._links.add_link(self._nic_in(node.node_id), network.node_bandwidth)
             self._links.add_link(self._nic_out(node.node_id), network.node_bandwidth)
 
+    def set_observer(self, observer) -> None:
+        """Attach a network observer (see :mod:`repro.obs`) to the links.
+
+        The observer learns every link's capacity up front, then receives
+        ``flow_started`` / ``flow_finished`` / ``rates_updated`` callbacks
+        synchronously as transfers come and go.  Pass ``None`` to detach.
+        """
+        if observer is not None and hasattr(observer, "register_links"):
+            observer.register_links(self._links.capacities)
+        self._links.observer = observer
+
     @staticmethod
     def _downlink(rack_id: int) -> str:
         return f"rack{rack_id}:down"

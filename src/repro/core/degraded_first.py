@@ -42,6 +42,7 @@ class BasicDegradedFirstScheduler(Scheduler):
         jobs: list[JobTaskState],
         now: float,
     ) -> list[MapAssignment]:
+        tracing = self.bus is not None
         assignments: list[MapAssignment] = []
         degraded_task_assigned = False
         for job in jobs:
@@ -49,21 +50,55 @@ class BasicDegradedFirstScheduler(Scheduler):
                 not degraded_task_assigned
                 and free_map_slots > 0
                 and job.has_unassigned_degraded()
-                and pacing_allows_degraded(job)
-                and self._degraded_guards(job, slave_id, now)
             ):
-                assignment = self._try_degraded(job, slave_id)
-                if assignment is not None:
-                    assignments.append(assignment)
-                    free_map_slots -= 1
-                    degraded_task_assigned = True
-                    self._on_degraded_assigned(slave_id, now)
+                # Pacing state is captured before any pop mutates m/m_d.
+                pacing = self.pacing_fields(job) if tracing else None
+                if not pacing_allows_degraded(job):
+                    if tracing:
+                        self.trace_decision(
+                            now, slave_id, job_id=job.job_id,
+                            action="skip-degraded", reason="pacing", **pacing,
+                        )
+                elif not self._degraded_guards(job, slave_id, now):
+                    if tracing:
+                        guards = self.last_guard_trace or {}
+                        reason = guards.get("rejected_by", "guard")
+                        self.trace_decision(
+                            now, slave_id, job_id=job.job_id,
+                            action="skip-degraded", reason=f"{reason}-guard",
+                            **pacing, **guards,
+                        )
+                else:
+                    assignment = self._try_degraded(job, slave_id)
+                    if assignment is not None:
+                        assignments.append(assignment)
+                        free_map_slots -= 1
+                        degraded_task_assigned = True
+                        self._on_degraded_assigned(slave_id, now)
+                        if tracing:
+                            guards = self.last_guard_trace or {}
+                            self.trace_decision(
+                                now, slave_id, job_id=job.job_id,
+                                action="assign", reason="degraded-first",
+                                category=assignment.category.value,
+                                block=str(assignment.block),
+                                **pacing, **guards,
+                            )
             while free_map_slots > 0:
+                pacing = self.pacing_fields(job) if tracing else None
                 assignment = self._try_local(job, slave_id) or self._try_remote(job, slave_id)
                 if assignment is None:
                     break
                 assignments.append(assignment)
                 free_map_slots -= 1
+                if tracing:
+                    self.trace_decision(
+                        now, slave_id, job_id=job.job_id,
+                        action="assign", reason="locality-fallback",
+                        category=assignment.category.value,
+                        block=str(assignment.block),
+                        **pacing,
+                    )
             if free_map_slots == 0:
                 break
         return assignments

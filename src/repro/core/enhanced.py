@@ -67,10 +67,29 @@ class EnhancedDegradedFirstScheduler(BasicDegradedFirstScheduler):
     # -- hooks into the BDF main loop ------------------------------------------
 
     def _degraded_guards(self, job: JobTaskState, slave_id: int, now: float) -> bool:
-        if not self.assign_to_slave(job, slave_id):
-            return False
+        if self.bus is None:
+            if not self.assign_to_slave(job, slave_id):
+                return False
+            rack_id = self.context.topology.rack_of(slave_id)
+            return self.assign_to_rack(rack_id, now)
+        # Tracing path: evaluate both guards (they are pure, so the verdict
+        # is unchanged) and record every quantity behind the decision.
         rack_id = self.context.topology.rack_of(slave_id)
-        return self.assign_to_rack(rack_id, now)
+        slave_ok = self.assign_to_slave(job, slave_id)
+        rack_ok = self.assign_to_rack(rack_id, now)
+        self.last_guard_trace = {
+            "t_s": self._local_backlog_time(job, slave_id),
+            "mean_t_s": self._mean_backlog_time(job),
+            "slave_ok": slave_ok,
+            "rack": rack_id,
+            "t_r": self._time_since_degraded(rack_id, now),
+            "mean_t_r": self._mean_time_since_degraded(now),
+            "rack_threshold": self.context.expected_degraded_read_time,
+            "rack_ok": rack_ok,
+            "rejected_by": None if slave_ok and rack_ok
+            else ("slave" if not slave_ok else "rack"),
+        }
+        return slave_ok and rack_ok
 
     def _on_degraded_assigned(self, slave_id: int, now: float) -> None:
         rack_id = self.context.topology.rack_of(slave_id)

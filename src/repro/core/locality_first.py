@@ -26,10 +26,14 @@ class LocalityFirstScheduler(Scheduler):
         jobs: list[JobTaskState],
         now: float,
     ) -> list[MapAssignment]:
-        del now  # LF is oblivious to time
+        tracing = self.bus is not None
         assignments: list[MapAssignment] = []
         for job in jobs:
             while free_map_slots > 0:
+                # Pacing state is captured before any pop mutates m/m_d; LF
+                # never *uses* it, but the decision trace records the ratio
+                # the paper's condition would have seen at this instant.
+                pacing = self.pacing_fields(job) if tracing else None
                 assignment = (
                     self._try_local(job, slave_id)
                     or self._try_remote(job, slave_id)
@@ -39,6 +43,14 @@ class LocalityFirstScheduler(Scheduler):
                     break
                 assignments.append(assignment)
                 free_map_slots -= 1
+                if tracing:
+                    self.trace_decision(
+                        now, slave_id, job_id=job.job_id,
+                        action="assign", reason="lf-order",
+                        category=assignment.category.value,
+                        block=str(assignment.block),
+                        **pacing,
+                    )
             if free_map_slots == 0:
                 break
         return assignments

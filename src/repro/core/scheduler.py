@@ -50,13 +50,26 @@ class SchedulerContext:
 
 
 class Scheduler(ABC):
-    """Base class: reduce-slot filling plus the map-assignment hook."""
+    """Base class: reduce-slot filling plus the map-assignment hook.
+
+    Decision tracing: when :attr:`bus` is set (an
+    :class:`~repro.obs.events.EventBus`, attached by ``run_simulation`` for
+    instrumented trials), every assignment decision -- including rejected
+    degraded launches and the guard/pacing values behind them -- is emitted
+    as a ``sched.decision`` event.  With ``bus is None`` (the default)
+    tracing costs nothing.
+    """
 
     #: Registry name, overridden by subclasses.
     name = "abstract"
 
     def __init__(self, context: SchedulerContext) -> None:
         self.context = context
+        #: Optional event bus for decision tracing (None = tracing off).
+        self.bus = None
+        #: Guard values of the most recent ``_degraded_guards`` evaluation,
+        #: populated only while tracing (see EnhancedDegradedFirstScheduler).
+        self.last_guard_trace: dict | None = None
 
     def assign(
         self,
@@ -97,6 +110,28 @@ class Scheduler(ABC):
             if free_reduce_slots == 0:
                 break
         return assignments
+
+    # -- decision tracing -------------------------------------------------------
+
+    def trace_decision(self, now: float, slave_id: int, **fields) -> None:
+        """Emit one ``sched.decision`` event (no-op unless tracing is on)."""
+        if self.bus is None:
+            return
+        self.bus.emit(
+            "sched.decision", now, scheduler=self.name, node=slave_id, **fields
+        )
+
+    @staticmethod
+    def pacing_fields(job: JobTaskState) -> dict:
+        """The paper's pacing state ``m/M`` vs ``m_d/M_d`` at decision time."""
+        return {
+            "m": job.m,
+            "M": job.M,
+            "m_d": job.m_d,
+            "M_d": job.M_d,
+            "launched_fraction": job.m / job.M if job.M else None,
+            "degraded_fraction": job.m_d / job.M_d if job.M_d else None,
+        }
 
     # -- shared helpers for subclasses ----------------------------------------
 

@@ -105,11 +105,14 @@ class JobTracker:
         blacklist_threshold: int | None = 3,
         speculative: bool = False,
         speculative_multiplier: float = 1.5,
+        bus=None,
     ) -> None:
         self.sim = sim
         self.topology = topology
         self.hdfs = hdfs
         self.scheduler = scheduler
+        #: Optional observability event bus (None = instrumentation off).
+        self.bus = bus
         self.failed_nodes = frozenset(failed_nodes)
         self.killed_tasks = 0
         self.max_attempts = max_attempts
@@ -187,10 +190,19 @@ class JobTracker:
         self._jobs_by_id[job_id] = state
         self.metrics[job_id] = JobMetrics(job_id=job_id, submit_time=self.sim.now)
         self.shuffles[job_id] = JobShuffle(
-            self.sim, config.num_reduce_tasks, self.topology
+            self.sim, config.num_reduce_tasks, self.topology,
+            job_id=job_id, bus=self.bus,
         )
         self._completed_maps[job_id] = set()
         self._map_durations[job_id] = []
+        if self.bus is not None:
+            self.bus.emit(
+                "job.submit", self.sim.now,
+                job_id=job_id,
+                num_blocks=config.num_blocks,
+                num_reduce_tasks=config.num_reduce_tasks,
+                degraded_tasks=state.total_degraded_tasks,
+            )
         return state
 
     def heartbeat(
@@ -198,21 +210,29 @@ class JobTracker:
     ) -> tuple[list[MapAssignment], list[ReduceAssignment]]:
         """Handle one slave heartbeat: delegate to the scheduler, log launches."""
         self.last_heartbeat[slave_id] = self.sim.now
-        if slave_id in self.blacklisted:
-            return [], []
-        if not self.active_jobs:
-            return [], []
-        maps, reduces = self.scheduler.assign(
-            slave_id, free_map_slots, free_reduce_slots, self.active_jobs, self.sim.now
-        )
-        if self.speculative and len(maps) < free_map_slots:
-            maps = maps + self._speculative_assignments(
-                slave_id, free_map_slots - len(maps)
+        maps: list[MapAssignment] = []
+        reduces: list[ReduceAssignment] = []
+        if slave_id not in self.blacklisted and self.active_jobs:
+            maps, reduces = self.scheduler.assign(
+                slave_id, free_map_slots, free_reduce_slots, self.active_jobs, self.sim.now
             )
-        for assignment in maps:
-            self._note_launch(assignment.job_id)
-        for assignment in reduces:
-            self._note_launch(assignment.job_id)
+            if self.speculative and len(maps) < free_map_slots:
+                maps = maps + self._speculative_assignments(
+                    slave_id, free_map_slots - len(maps)
+                )
+            for assignment in maps:
+                self._note_launch(assignment.job_id)
+            for assignment in reduces:
+                self._note_launch(assignment.job_id)
+        if self.bus is not None:
+            self.bus.emit(
+                "heartbeat", self.sim.now,
+                node=slave_id,
+                free_map=free_map_slots,
+                free_reduce=free_reduce_slots,
+                assigned_maps=len(maps),
+                assigned_reduces=len(reduces),
+            )
         return maps, reduces
 
     def job_state(self, job_id: int) -> JobTaskState:
@@ -345,6 +365,8 @@ class JobTracker:
             live.discard(node_id)
         for state in self.active_jobs:
             state.on_node_failure(node_id)
+        if self.bus is not None:
+            self.bus.emit("node.fail", self.sim.now, node=node_id)
         count = self.consecutive_failures.get(node_id, 0) + 1
         self.consecutive_failures[node_id] = count
         if (
@@ -358,6 +380,11 @@ class JobTracker:
                     node=node_id, at=self.sim.now, consecutive_failures=count
                 )
             )
+            if self.bus is not None:
+                self.bus.emit(
+                    "node.blacklist", self.sim.now,
+                    node=node_id, consecutive_failures=count,
+                )
 
     def declare_dead(self, node_id: int, failed_at: float | None = None) -> None:
         """Heartbeat expiry fired: declare the node dead and requeue its work.
@@ -369,13 +396,19 @@ class JobTracker:
         if node_id in self.failed_nodes:
             return
         detected_at = self.sim.now
-        self.faults.detections.append(
-            DetectionRecord(
-                node=node_id,
-                failed_at=detected_at if failed_at is None else failed_at,
-                detected_at=detected_at,
-            )
+        record = DetectionRecord(
+            node=node_id,
+            failed_at=detected_at if failed_at is None else failed_at,
+            detected_at=detected_at,
         )
+        self.faults.detections.append(record)
+        if self.bus is not None:
+            self.bus.emit(
+                "failure.detect", detected_at,
+                node=node_id,
+                failed_at=record.failed_at,
+                latency=record.latency,
+            )
         self.fail_node(node_id)
         self.requeue_node_attempts(node_id)
 
@@ -416,6 +449,10 @@ class JobTracker:
         self.faults.recoveries.append(
             RecoveryRecord(node=node_id, at=self.sim.now, reclaimed_tasks=reclaimed)
         )
+        if self.bus is not None:
+            self.bus.emit(
+                "node.recover", self.sim.now, node=node_id, reclaimed_tasks=reclaimed
+            )
         return reclaimed
 
     def on_map_task_killed(self, assignment: MapAssignment) -> None:
@@ -435,6 +472,13 @@ class JobTracker:
         key = _attempt_key(assignment)
         failures = self._failure_counts.get(key, 0) + 1
         self._failure_counts[key] = failures
+        if self.bus is not None:
+            self.bus.emit(
+                "task.requeue", self.sim.now,
+                job_id=assignment.job_id, task="map",
+                node=assignment.slave_id, block=str(assignment.block),
+                failures=failures,
+            )
         if failures >= self.max_attempts:
             self._fail_job(
                 state,
@@ -462,6 +506,13 @@ class JobTracker:
         key = _attempt_key(assignment)
         failures = self._failure_counts.get(key, 0) + 1
         self._failure_counts[key] = failures
+        if self.bus is not None:
+            self.bus.emit(
+                "task.requeue", self.sim.now,
+                job_id=assignment.job_id, task="reduce",
+                node=assignment.slave_id, reduce_index=assignment.reduce_index,
+                failures=failures,
+            )
         if failures >= self.max_attempts:
             self._fail_job(
                 state,
@@ -510,6 +561,14 @@ class JobTracker:
                 assignments.append(backup)
                 self.metrics[job.job_id].speculative_launched += 1
                 free_slots -= 1
+                if self.bus is not None:
+                    self.bus.emit(
+                        "spec.launch", self.sim.now,
+                        job_id=job.job_id, block=str(backup.block),
+                        node=slave_id, straggler_node=running.assignment.slave_id,
+                        straggler_elapsed=self.sim.now - running.launch_time,
+                        cutoff=cutoff,
+                    )
         return assignments
 
     def _classify_block(self, block, slave_id: int) -> MapTaskCategory:
@@ -539,7 +598,13 @@ class JobTracker:
             metrics.first_launch_time = self.sim.now
 
     def _finish_job(self, state: JobTaskState) -> None:
-        self.metrics[state.job_id].finish_time = self.sim.now
+        metrics = self.metrics[state.job_id]
+        metrics.finish_time = self.sim.now
+        if self.bus is not None:
+            self.bus.emit(
+                "job.finish", self.sim.now,
+                job_id=state.job_id, runtime=metrics.runtime,
+            )
         self._retire_job(state)
 
     def _fail_job(self, state: JobTaskState, reason: str) -> None:
@@ -548,6 +613,8 @@ class JobTracker:
         metrics.failed = True
         metrics.failure_reason = reason
         metrics.finish_time = self.sim.now
+        if self.bus is not None:
+            self.bus.emit("job.fail", self.sim.now, job_id=state.job_id, reason=reason)
         for key, attempts in list(self._attempts_by_task.items()):
             if key[1] != state.job_id:
                 continue

@@ -28,11 +28,25 @@ class JobShuffle:
         Number of reduce tasks in the job.
     topology:
         Used to map a completed map's node to its rack.
+    job_id:
+        The owning job, stamped on observability events.
+    bus:
+        Optional observability event bus; ``shuffle.deposit`` /
+        ``shuffle.drain`` events are emitted when set.
     """
 
-    def __init__(self, sim: Simulator, num_reducers: int, topology: ClusterTopology) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        num_reducers: int,
+        topology: ClusterTopology,
+        job_id: int = 0,
+        bus=None,
+    ) -> None:
         self._sim = sim
         self._topology = topology
+        self.job_id = job_id
+        self.bus = bus
         self.num_reducers = num_reducers
         self._pending: list[dict[int, float]] = [{} for _ in range(num_reducers)]
         # Everything ever deposited, per reducer; a restarted reducer (its
@@ -53,6 +67,11 @@ class JobShuffle:
         rack = self._topology.rack_of(map_node)
         share = total_bytes / self.num_reducers
         self.total_deposited += total_bytes
+        if self.bus is not None:
+            self.bus.emit(
+                "shuffle.deposit", self._sim.now,
+                job_id=self.job_id, node=map_node, rack=rack, bytes=total_bytes,
+            )
         for index in range(self.num_reducers):
             pending = self._pending[index]
             pending[rack] = pending.get(rack, 0.0) + share
@@ -73,6 +92,12 @@ class JobShuffle:
             return {}
         self._pending[reducer_index] = {}
         self.total_drained += sum(pending.values())
+        if self.bus is not None:
+            self.bus.emit(
+                "shuffle.drain", self._sim.now,
+                job_id=self.job_id, reducer=reducer_index,
+                bytes=sum(pending.values()),
+            )
         return pending
 
     def wait(self, reducer_index: int) -> Event:

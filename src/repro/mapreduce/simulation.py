@@ -7,9 +7,17 @@ the event loop to completion and returns a
 :class:`~repro.mapreduce.metrics.SimulationResult`.  A job that exhausts its
 retry budget aborts the trial with a
 :class:`~repro.faults.errors.JobFailedError` carrying the partial result.
+
+Passing an :class:`~repro.obs.ObservabilityCollector` as ``observer``
+records structured events, scheduler decision traces and utilization
+metrics for the trial.  Instrumentation is strictly passive -- it draws no
+random numbers and schedules nothing on the event heap -- so an observed
+trial produces a bit-identical :class:`SimulationResult`.
 """
 
 from __future__ import annotations
+
+import contextlib
 
 from repro.cluster.failures import FailureInjector
 from repro.cluster.nodetree import NodeTree
@@ -52,11 +60,61 @@ def expected_degraded_read_time(config: SimulationConfig) -> float:
     return (R - 1) * k * config.block_size / (R * config.rack_bandwidth)
 
 
-def run_simulation(config: SimulationConfig) -> SimulationResult:
+def run_simulation(config: SimulationConfig, observer=None) -> SimulationResult:
     """Run one trial and return its metrics.
 
-    The trial is fully determined by ``config`` (including ``config.seed``).
+    The trial is fully determined by ``config`` (including ``config.seed``);
+    ``observer`` (an :class:`~repro.obs.ObservabilityCollector`) is optional
+    and never perturbs the result.
     """
+    bus = observer.bus if observer is not None else None
+    setup_span = (
+        observer.profiler.span("setup")
+        if observer is not None
+        else contextlib.nullcontext()
+    )
+    with setup_span:
+        sim, tracker, runtime = _build_trial(config, observer, bus)
+    run_span = (
+        observer.profiler.span("run")
+        if observer is not None
+        else contextlib.nullcontext()
+    )
+    with run_span:
+        sim.run()
+    if observer is not None:
+        observer.profiler.events_dispatched = sim.dispatched
+        observer.profiler.events_emitted = bus.emitted
+        observer.finalize(sim.now)
+    if not tracker.finished:
+        raise RuntimeError("simulation ended before all jobs completed")
+    result = SimulationResult(
+        jobs=tracker.metrics,
+        failed_nodes=tracker.failed_nodes,
+        scheduler=config.scheduler,
+        seed=config.seed,
+        shuffle_totals={
+            job_id: (shuffle.total_deposited, shuffle.total_drained)
+            for job_id, shuffle in tracker.shuffles.items()
+        },
+        faults=tracker.faults,
+    )
+    failed_jobs = sorted(
+        job_id for job_id, metrics in tracker.metrics.items() if metrics.failed
+    )
+    if failed_jobs:
+        reasons = "; ".join(
+            f"job {job_id}: {tracker.metrics[job_id].failure_reason}"
+            for job_id in failed_jobs
+        )
+        raise JobFailedError(f"{len(failed_jobs)} job(s) failed -- {reasons}", result)
+    return result
+
+
+def _build_trial(
+    config: SimulationConfig, observer, bus
+) -> tuple[Simulator, JobTracker, SlaveRuntime]:
+    """Assemble one trial's simulator, master and slaves (no events run yet)."""
     sim = Simulator()
     rng = RngStreams(config.seed)
     topology = build_topology(config)
@@ -105,7 +163,10 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
         ),
     )
 
+    scheduler.bus = bus
     nodetree = NodeTree(sim, topology, config.network_spec(), model=config.network_model)
+    if observer is not None:
+        nodetree.set_observer(observer)
     tracker = JobTracker(
         sim,
         topology,
@@ -116,9 +177,12 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
         blacklist_threshold=config.blacklist_threshold,
         speculative=config.speculative,
         speculative_multiplier=config.speculative_multiplier,
+        bus=bus,
     )
     tracker.expect_jobs(len(config.jobs))
-    runtime = SlaveRuntime(sim, config, tracker, nodetree, hdfs.planner, rng)
+    runtime = SlaveRuntime(
+        sim, config, tracker, nodetree, hdfs.planner, rng, observer=observer
+    )
 
     for job_id, job_config in enumerate(config.jobs):
         sim.call_at(
@@ -146,27 +210,4 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
 
     sim.spawn(failure_detector_process(runtime), name="failure-detector")
 
-    sim.run()
-    if not tracker.finished:
-        raise RuntimeError("simulation ended before all jobs completed")
-    result = SimulationResult(
-        jobs=tracker.metrics,
-        failed_nodes=tracker.failed_nodes,
-        scheduler=config.scheduler,
-        seed=config.seed,
-        shuffle_totals={
-            job_id: (shuffle.total_deposited, shuffle.total_drained)
-            for job_id, shuffle in tracker.shuffles.items()
-        },
-        faults=tracker.faults,
-    )
-    failed_jobs = sorted(
-        job_id for job_id, metrics in tracker.metrics.items() if metrics.failed
-    )
-    if failed_jobs:
-        reasons = "; ".join(
-            f"job {job_id}: {tracker.metrics[job_id].failure_reason}"
-            for job_id in failed_jobs
-        )
-        raise JobFailedError(f"{len(failed_jobs)} job(s) failed -- {reasons}", result)
-    return result
+    return sim, tracker, runtime

@@ -46,6 +46,7 @@ class SlaveRuntime:
         nodetree: NodeTree,
         planner: DegradedReadPlanner,
         rng: RngStreams,
+        observer=None,
     ) -> None:
         self.sim = sim
         self.config = config
@@ -53,6 +54,9 @@ class SlaveRuntime:
         self.nodetree = nodetree
         self.planner = planner
         self.rng = rng
+        #: Optional slot observer (an ObservabilityCollector); attached to
+        #: every slot semaphore, including ones recreated after recovery.
+        self.observer = observer
         topology = tracker.topology
         self.map_slots = {
             node.node_id: Semaphore(sim, node.map_slots, name=f"map:{node.node_id}")
@@ -62,6 +66,9 @@ class SlaveRuntime:
             node.node_id: Semaphore(sim, node.reduce_slots, name=f"reduce:{node.node_id}")
             for node in topology.nodes
         }
+        if observer is not None:
+            for semaphore in (*self.map_slots.values(), *self.reduce_slots.values()):
+                semaphore.observer = observer
         self._running: dict[int, set[Process]] = {
             node.node_id: set() for node in topology.nodes
         }
@@ -94,6 +101,7 @@ class SlaveRuntime:
         for process in list(self._running[node_id]):
             process.interrupt("node-failure")
         self._running[node_id].clear()
+        self._note_slots_lost(node_id)
 
     def crash_node(self, node_id: int) -> None:
         """Kill a node silently: heartbeats stop, its processes die.
@@ -112,6 +120,16 @@ class SlaveRuntime:
         for process in list(self._running[node_id]):
             process.interrupt("crash")
         self._running[node_id].clear()
+        self._note_slots_lost(node_id)
+
+    def _note_slots_lost(self, node_id: int) -> None:
+        """Zero the dead node's slot-occupancy series (observability only)."""
+        if self.observer is None:
+            return
+        for semaphore in (self.map_slots[node_id], self.reduce_slots[node_id]):
+            self.observer.slot_changed(
+                self.sim.now, semaphore.name, 0, semaphore.capacity, 0
+            )
 
     def recover_node(self, node_id: int) -> None:
         """A dead node rejoins: fresh slots, fresh heartbeat loop.
@@ -137,6 +155,12 @@ class SlaveRuntime:
         self.reduce_slots[node_id] = Semaphore(
             self.sim, node.reduce_slots, name=f"reduce:{node_id}"
         )
+        if self.observer is not None:
+            self.map_slots[node_id].observer = self.observer
+            self.reduce_slots[node_id].observer = self.observer
+            # The dead node's slots emptied with it; restart the series at 0.
+            self.map_slots[node_id]._notify()
+            self.reduce_slots[node_id]._notify()
         self._running[node_id] = set()
         self.spawn_slave(node_id)
 
@@ -190,6 +214,7 @@ def slave_process(runtime: SlaveRuntime, node_id: int) -> Generator:
         free_map = runtime.map_slots[node_id].available
         free_reduce = runtime.reduce_slots[node_id].available
         maps, reduces = tracker.heartbeat(node_id, free_map, free_reduce)
+        bus = tracker.bus
         for assignment in maps:
             if not runtime.map_slots[node_id].try_acquire():
                 raise RuntimeError(
@@ -200,7 +225,15 @@ def slave_process(runtime: SlaveRuntime, node_id: int) -> Generator:
                 name=f"map:{assignment.job_id}:{assignment.block}",
             )
             runtime._register(node_id, process)
-            tracker.note_attempt_started(assignment, process)
+            attempt = tracker.note_attempt_started(assignment, process)
+            if bus is not None:
+                bus.emit(
+                    "task.launch", sim.now,
+                    job_id=assignment.job_id, task="map", node=node_id,
+                    block=str(assignment.block),
+                    category=assignment.category.value,
+                    attempt=attempt.number, speculative=assignment.speculative,
+                )
         for assignment in reduces:
             if not runtime.reduce_slots[node_id].try_acquire():
                 raise RuntimeError(
@@ -211,7 +244,14 @@ def slave_process(runtime: SlaveRuntime, node_id: int) -> Generator:
                 name=f"reduce:{assignment.job_id}:{assignment.reduce_index}",
             )
             runtime._register(node_id, process)
-            tracker.note_attempt_started(assignment, process)
+            attempt = tracker.note_attempt_started(assignment, process)
+            if bus is not None:
+                bus.emit(
+                    "task.launch", sim.now,
+                    job_id=assignment.job_id, task="reduce", node=node_id,
+                    reduce_index=assignment.reduce_index,
+                    attempt=attempt.number, speculative=False,
+                )
         yield Timeout(interval)
 
 
@@ -228,6 +268,13 @@ def map_task_process(runtime: SlaveRuntime, assignment: MapAssignment) -> Genera
     try:
         yield from _map_task_body(runtime, assignment)
     except Interrupt as interrupt:
+        bus = runtime.tracker.bus
+        if bus is not None:
+            bus.emit(
+                "task.kill", runtime.sim.now,
+                job_id=assignment.job_id, task="map", node=assignment.slave_id,
+                block=str(assignment.block), cause=interrupt.cause,
+            )
         if interrupt.cause == "crash":
             pass
         elif interrupt.cause in _RELEASE_SLOT_CAUSES:
@@ -263,6 +310,15 @@ def _map_task_body(runtime: SlaveRuntime, assignment: MapAssignment) -> Generato
                 continue  # already on this node, no transfer
             rack = runtime.tracker.topology.rack_of(source.node_id)
             per_rack[rack] = per_rack.get(rack, 0.0) + config.block_size
+        bus = runtime.tracker.bus
+        if bus is not None:
+            bus.emit(
+                "degraded.start", sim.now,
+                job_id=assignment.job_id, block=str(assignment.block),
+                node=assignment.slave_id,
+                surviving_blocks=len(plan.sources),
+                racks={str(rack): size for rack, size in sorted(per_rack.items())},
+            )
         flows = [
             runtime.nodetree.transfer_from_rack(rack, assignment.slave_id, size)
             for rack, size in sorted(per_rack.items())
@@ -270,6 +326,12 @@ def _map_task_body(runtime: SlaveRuntime, assignment: MapAssignment) -> Generato
         if flows:
             yield sim.all_of(flows)
         record.download_time = sim.now - record.launch_time
+        if bus is not None:
+            bus.emit(
+                "degraded.end", sim.now,
+                job_id=assignment.job_id, block=str(assignment.block),
+                node=assignment.slave_id, duration=record.download_time,
+            )
     elif assignment.category in (MapTaskCategory.RACK_LOCAL, MapTaskCategory.REMOTE):
         home = runtime.tracker.hdfs.node_of(assignment.block)
         yield runtime.nodetree.transfer(home, assignment.slave_id, config.block_size)
@@ -285,6 +347,14 @@ def _map_task_body(runtime: SlaveRuntime, assignment: MapAssignment) -> Generato
     record.finish_time = sim.now
     shuffle_bytes = config.block_size * job.config.shuffle_ratio
     runtime.map_slots[assignment.slave_id].release()
+    if runtime.tracker.bus is not None:
+        runtime.tracker.bus.emit(
+            "task.finish", sim.now,
+            job_id=assignment.job_id, task="map", node=assignment.slave_id,
+            block=str(assignment.block), category=assignment.category.value,
+            runtime=record.finish_time - record.launch_time,
+            download=record.download_time,
+        )
     runtime.tracker.on_map_complete(record, shuffle_bytes, assignment)
 
 
@@ -298,6 +368,14 @@ def reduce_task_process(runtime: SlaveRuntime, assignment: ReduceAssignment) -> 
     try:
         yield from _reduce_task_body(runtime, assignment)
     except Interrupt as interrupt:
+        bus = runtime.tracker.bus
+        if bus is not None:
+            bus.emit(
+                "task.kill", runtime.sim.now,
+                job_id=assignment.job_id, task="reduce",
+                node=assignment.slave_id,
+                reduce_index=assignment.reduce_index, cause=interrupt.cause,
+            )
         if interrupt.cause == "crash":
             pass
         elif interrupt.cause in _RELEASE_SLOT_CAUSES:
@@ -346,4 +424,12 @@ def _reduce_task_body(runtime: SlaveRuntime, assignment: ReduceAssignment) -> Ge
 
     record.finish_time = sim.now
     runtime.reduce_slots[assignment.slave_id].release()
+    if runtime.tracker.bus is not None:
+        runtime.tracker.bus.emit(
+            "task.finish", sim.now,
+            job_id=assignment.job_id, task="reduce", node=assignment.slave_id,
+            reduce_index=assignment.reduce_index,
+            runtime=record.finish_time - record.launch_time,
+            download=record.download_time,
+        )
     runtime.tracker.on_reduce_complete(record, assignment)

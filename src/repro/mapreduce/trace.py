@@ -25,8 +25,24 @@ _PROCESS_CHAR = {"map": "#", "reduce": "R"}
 _DOWNLOAD_CHAR = "~"
 
 
+def _rounded(value: float) -> float | None:
+    """Round for export; ``None`` for NaN/inf (an unfinished task's time).
+
+    JSON has no NaN token -- ``json.dumps`` would emit the non-standard
+    ``NaN``, which strict parsers reject -- so non-finite times serialise
+    as ``null``.
+    """
+    if not math.isfinite(value):
+        return None
+    return round(value, 6)
+
+
 def to_records(result: SimulationResult) -> list[dict]:
-    """Flatten a result into one dict per task, JSON/CSV-friendly."""
+    """Flatten a result into one dict per task, JSON/CSV-friendly.
+
+    Non-finite times (a killed or still-running attempt in a failed trial's
+    partial result) become ``None``/empty rather than NaN.
+    """
     records = []
     for job_id, job in sorted(result.jobs.items()):
         for task in job.tasks:
@@ -36,15 +52,15 @@ def to_records(result: SimulationResult) -> list[dict]:
                     "kind": task.kind.value,
                     "category": task.category.value if task.category else "",
                     "slave_id": task.slave_id,
-                    "launch_time": round(task.launch_time, 6),
-                    "download_time": round(task.download_time, 6),
-                    "finish_time": round(task.finish_time, 6),
-                    "runtime": round(task.runtime, 6),
+                    "launch_time": _rounded(task.launch_time),
+                    "download_time": _rounded(task.download_time),
+                    "finish_time": _rounded(task.finish_time),
+                    "runtime": _rounded(task.runtime),
                     "attempt": task.attempt,
                     "speculative": task.speculative,
                 }
             )
-    records.sort(key=lambda r: (r["launch_time"], r["slave_id"]))
+    records.sort(key=lambda r: (r["launch_time"] or 0.0, r["slave_id"]))
     return records
 
 
@@ -92,7 +108,9 @@ def to_json(result: SimulationResult, indent: int | None = None) -> str:
         },
         "tasks": to_records(result),
     }
-    return json.dumps(payload, indent=indent)
+    from repro.obs.export import sanitize
+
+    return json.dumps(sanitize(payload), indent=indent, allow_nan=False)
 
 
 def write_csv(result: SimulationResult, stream: io.TextIOBase | None = None) -> str:

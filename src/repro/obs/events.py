@@ -1,0 +1,107 @@
+"""The structured event bus: typed simulation events, synchronously fanned out.
+
+Every instrumented subsystem (engine callbacks aside) publishes *events* --
+small ``(time, kind, fields)`` records -- onto one :class:`EventBus` per
+trial.  Subscribers (normally the
+:class:`~repro.obs.collector.ObservabilityCollector`) receive each event
+synchronously, in emission order, at the simulation instant it happened.
+
+Design constraints, enforced by construction:
+
+* **Zero overhead when off.**  Instrumented call sites hold ``bus = None``
+  by default and guard every emission with ``if bus is not None``; no event
+  object is ever built on the off path.
+* **No perturbation when on.**  ``emit`` calls subscribers directly -- it
+  never schedules simulator callbacks, never touches the event heap, and
+  never draws randomness -- so a trial's :class:`SimulationResult` is
+  bit-identical with instrumentation on or off.
+
+Event taxonomy (the ``kind`` strings; fields documented in DESIGN.md §8):
+
+=====================  =========================================================
+kind                   emitted when
+=====================  =========================================================
+``job.submit``         a job enters the FIFO queue
+``job.finish``         a job's last task completes
+``job.fail``           a job is abandoned (retry budget exhausted)
+``heartbeat``          the master handled one slave heartbeat
+``sched.decision``     a scheduler chose (or rejected) a map assignment
+``task.launch``        a slave spawned a task-runner process
+``task.finish``        a task completed and reported back
+``task.kill``          a running attempt was interrupted
+``task.requeue``       the master re-queued a lost attempt for re-execution
+``degraded.start``     a degraded read began fetching surviving blocks
+``degraded.end``       a degraded read finished reconstructing its block
+``flow.start``         a network flow entered the fluid/exclusive network
+``flow.end``           a network flow completed
+``slot.change``        a map/reduce slot was taken or released
+``shuffle.deposit``    a completed map deposited intermediate data
+``shuffle.drain``      a reducer claimed its pending shuffle bytes
+``failure.detect``     heartbeat expiry declared a node dead
+``node.fail``          a node left the live view (scripted or detected)
+``node.recover``       a failed node rejoined
+``node.blacklist``     a node crossed the consecutive-failure threshold
+``spec.launch``        a speculative backup attempt was issued
+=====================  =========================================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+#: Subscription key matching every event kind.
+WILDCARD = "*"
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """One structured observation: what happened, when, and its payload."""
+
+    time: float
+    kind: str
+    fields: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Flat JSON-friendly form.
+
+        ``t`` and ``kind`` are reserved: a payload field with either name
+        is shadowed, never the event's own timestamp/kind.
+        """
+        record = dict(self.fields)
+        record["t"] = self.time
+        record["kind"] = self.kind
+        return record
+
+
+class EventBus:
+    """Synchronous publish/subscribe fan-out for :class:`ObsEvent`.
+
+    Subscribers registered for a specific kind receive only that kind;
+    subscribers registered for :data:`WILDCARD` receive everything.
+    Dispatch order is registration order (kind-specific before wildcard).
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: dict[str, list[Callable[[ObsEvent], None]]] = {}
+        self.emitted = 0
+        self.counts: dict[str, int] = {}
+
+    def subscribe(self, kind: str, handler: Callable[[ObsEvent], None]) -> None:
+        """Register ``handler`` for ``kind`` (or :data:`WILDCARD`)."""
+        self._subscribers.setdefault(kind, []).append(handler)
+
+    def emit(self, kind: str, time: float, /, **fields) -> ObsEvent:
+        """Publish one event; subscribers run synchronously, in order.
+
+        ``kind`` and ``time`` are positional-only so payloads may reuse
+        those words as field names (e.g. ``kind="map"`` on task events).
+        """
+        event = ObsEvent(time=time, kind=kind, fields=fields)
+        self.emitted += 1
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        for handler in self._subscribers.get(kind, ()):
+            handler(event)
+        for handler in self._subscribers.get(WILDCARD, ()):
+            handler(event)
+        return event

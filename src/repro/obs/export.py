@@ -1,0 +1,160 @@
+"""Exporters: JSONL event log, Chrome trace-event JSON, file helpers.
+
+Three artifact formats come out of an instrumented trial:
+
+* :func:`events_jsonl` -- one spec-valid JSON object per line, one line per
+  :class:`~repro.obs.events.ObsEvent` (``NaN``/``Inf`` are emitted as
+  ``null``, never as the non-standard tokens ``json.dumps`` produces by
+  default);
+* :func:`chrome_trace` -- the Chrome trace-event format (the JSON Object
+  Format with a ``traceEvents`` array), loadable in Perfetto / DevTools:
+  one process row per node, one thread lane per concurrent slot, download
+  and process phases as separate duration events, failure detections as
+  instant events;
+* :func:`write_text` -- shared file-writing helper that creates missing
+  parent directories (used by the CLI for every export path).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+from repro.mapreduce.job import TaskKind
+from repro.mapreduce.metrics import SimulationResult
+from repro.obs.events import ObsEvent
+
+#: Microseconds per simulated second (trace-event timestamps are in us).
+_US = 1e6
+
+
+def sanitize(value):
+    """Recursively replace non-finite floats with ``None`` for strict JSON."""
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {key: sanitize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize(item) for item in value]
+    return value
+
+
+def events_jsonl(events: list[ObsEvent]) -> str:
+    """Serialise an event log as JSON Lines (one strict-JSON object each)."""
+    lines = [
+        json.dumps(sanitize(event.to_dict()), allow_nan=False) for event in events
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def chrome_trace(result: SimulationResult) -> dict:
+    """Build a Chrome trace-event document from a finished trial.
+
+    Layout mirrors the paper's Figure 3/4 slot charts: ``pid`` is the node,
+    ``tid`` is a greedily assigned slot lane (so the lane count equals the
+    node's peak concurrency), and each task contributes a ``download`` and a
+    ``process`` duration event.  Times are simulated seconds scaled to
+    microseconds.
+    """
+    trace_events: list[dict] = []
+    lane_busy_until: dict[int, list[float]] = {}
+    seen_nodes: set[int] = set()
+
+    tasks = []
+    for job_id, job in sorted(result.jobs.items()):
+        tasks.extend((job_id, task) for task in job.tasks)
+    tasks.sort(key=lambda item: (item[1].slave_id, item[1].launch_time))
+
+    for job_id, task in tasks:
+        if not math.isfinite(task.finish_time):
+            continue  # killed mid-flight; no closed interval to draw
+        node = task.slave_id
+        busy = lane_busy_until.setdefault(node, [])
+        for lane, busy_until in enumerate(busy):
+            if task.launch_time >= busy_until - 1e-9:
+                busy[lane] = task.finish_time
+                break
+        else:
+            lane = len(busy)
+            busy.append(task.finish_time)
+        if node not in seen_nodes:
+            seen_nodes.add(node)
+            trace_events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": node,
+                    "args": {"name": f"node {node}"},
+                }
+            )
+        kind = "reduce" if task.kind is TaskKind.REDUCE else "map"
+        category = task.category.value if task.category else kind
+        common = {"pid": node, "tid": lane, "ph": "X"}
+        if task.download_time > 0:
+            trace_events.append(
+                {
+                    **common,
+                    "name": f"download ({category})",
+                    "cat": "download",
+                    "ts": task.launch_time * _US,
+                    "dur": task.download_time * _US,
+                    "args": {"job": job_id, "category": category},
+                }
+            )
+        process_start = task.launch_time + task.download_time
+        trace_events.append(
+            {
+                **common,
+                "name": f"{kind} ({category})",
+                "cat": "process",
+                "ts": process_start * _US,
+                "dur": max(task.finish_time - process_start, 0.0) * _US,
+                "args": {
+                    "job": job_id,
+                    "category": category,
+                    "attempt": task.attempt,
+                    "speculative": task.speculative,
+                },
+            }
+        )
+
+    for record in result.faults.detections:
+        trace_events.append(
+            {
+                "name": f"failure detected: node {record.node}",
+                "ph": "i",
+                "s": "g",
+                "pid": record.node if record.node in seen_nodes else 0,
+                "tid": 0,
+                "ts": record.detected_at * _US,
+                "args": {"failed_at": record.failed_at, "latency": record.latency},
+            }
+        )
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "scheduler": result.scheduler,
+            "seed": result.seed,
+            "failed_nodes": sorted(result.failed_nodes),
+        },
+    }
+
+
+def chrome_trace_json(result: SimulationResult, indent: int | None = None) -> str:
+    """:func:`chrome_trace` serialised as strict JSON text."""
+    return json.dumps(sanitize(chrome_trace(result)), indent=indent, allow_nan=False)
+
+
+def write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path``, creating missing parent directories.
+
+    Raises :class:`OSError` on unwritable targets; callers (the CLI) turn
+    that into a clean exit instead of a traceback.
+    """
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(text)

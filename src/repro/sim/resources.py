@@ -12,6 +12,13 @@ Three resource kinds cover everything the MapReduce simulator needs:
   link for a duration" semantics: a transfer occupies every link on its path
   exclusively; contending transfers queue.  Provided for the network-model
   ablation.
+
+Observability (see :mod:`repro.obs`): each resource accepts an optional
+*observer* -- ``None`` by default, so the off path costs one ``is not None``
+check.  Observers are called synchronously (never via the event heap) with
+slot-occupancy changes, flow starts/ends, and rate reallocations, so an
+instrumented run's simulation trajectory is identical to an uninstrumented
+one.
 """
 
 from __future__ import annotations
@@ -36,6 +43,18 @@ class Semaphore:
         self.available = capacity
         self.name = name
         self._queue: list[Event] = []
+        #: Optional slot observer: ``slot_changed(now, name, in_use, capacity,
+        #: queued)`` called synchronously on every occupancy/queue change.
+        self.observer = None
+
+    def _notify(self) -> None:
+        self.observer.slot_changed(
+            self._sim.now,
+            self.name,
+            self.capacity - self.available,
+            self.capacity,
+            len(self._queue),
+        )
 
     def acquire(self) -> Event:
         """Request one unit; the returned event fires when granted."""
@@ -45,6 +64,8 @@ class Semaphore:
             grant.succeed()
         else:
             self._queue.append(grant)
+        if self.observer is not None:
+            self._notify()
         return grant
 
     def release(self) -> None:
@@ -55,11 +76,15 @@ class Semaphore:
             if self.available >= self.capacity:
                 raise ValueError(f"semaphore {self.name!r} released above capacity")
             self.available += 1
+        if self.observer is not None:
+            self._notify()
 
     def try_acquire(self) -> bool:
         """Non-blocking acquire; True on success."""
         if self.available > 0:
             self.available -= 1
+            if self.observer is not None:
+                self._notify()
             return True
         return False
 
@@ -106,6 +131,9 @@ class FluidNetwork:
         self._flows: list[_Flow] = []
         self._last_update = 0.0
         self._pending_completion: dict | None = None
+        #: Optional network observer: ``flow_started`` / ``flow_finished`` /
+        #: ``rates_updated`` hooks, called synchronously (never via the heap).
+        self.observer = None
 
     def add_link(self, name: str, capacity: float) -> None:
         """Register a link; capacity is in bytes (or bits) per second."""
@@ -118,6 +146,11 @@ class FluidNetwork:
     def has_link(self, name: str) -> bool:
         """Whether a link with this name exists."""
         return name in self._capacities
+
+    @property
+    def capacities(self) -> dict[str, float]:
+        """A copy of the registered link capacities."""
+        return dict(self._capacities)
 
     def transfer(self, links: list[str], size: float) -> Event:
         """Start a flow of ``size`` over ``links``; event fires on completion.
@@ -136,6 +169,8 @@ class FluidNetwork:
         flow = _Flow(links=tuple(links), remaining=float(size), done=done,
                      size=float(size), started_at=self._sim.now)
         self._flows.append(flow)
+        if self.observer is not None:
+            self.observer.flow_started(self._sim.now, flow.links, flow.size)
         self._reschedule()
         return flow.done
 
@@ -185,6 +220,12 @@ class FluidNetwork:
     def _reschedule(self) -> None:
         """Recompute rates and arm the next completion callback."""
         self._recompute_rates()
+        if self.observer is not None:
+            link_rates: dict[str, float] = {}
+            for flow in self._flows:
+                for link in flow.links:
+                    link_rates[link] = link_rates.get(link, 0.0) + flow.rate
+            self.observer.rates_updated(self._sim.now, link_rates)
         if self._pending_completion is not None:
             self._pending_completion["cancelled"] = True
             self._pending_completion = None
@@ -208,6 +249,13 @@ class FluidNetwork:
             finished = [flow for flow in self._flows if flow.finished]
             self._flows = [flow for flow in self._flows if not flow.finished]
             for flow in finished:
+                if self.observer is not None:
+                    self.observer.flow_finished(
+                        self._sim.now,
+                        flow.links,
+                        flow.size,
+                        self._sim.now - flow.started_at,
+                    )
                 flow.done.succeed(self._sim.now - flow.started_at)
             self._reschedule()
 
@@ -228,6 +276,8 @@ class ExclusivePathNetwork:
         self._capacities: dict[str, float] = {}
         self._busy: set[str] = set()
         self._queue: list[tuple[tuple[str, ...], float, Event]] = []
+        #: Optional network observer (same protocol as FluidNetwork's).
+        self.observer = None
 
     def add_link(self, name: str, capacity: float) -> None:
         """Register a link with the given capacity."""
@@ -240,6 +290,18 @@ class ExclusivePathNetwork:
     def has_link(self, name: str) -> bool:
         """Whether a link with this name exists."""
         return name in self._capacities
+
+    @property
+    def capacities(self) -> dict[str, float]:
+        """A copy of the registered link capacities."""
+        return dict(self._capacities)
+
+    def _notify_rates(self) -> None:
+        """Held links run at full capacity; everything else is idle."""
+        self.observer.rates_updated(
+            self._sim.now,
+            {link: self._capacities[link] for link in self._busy},
+        )
 
     def transfer(self, links: list[str], size: float) -> Event:
         """Queue a transfer over ``links``; event fires when it completes."""
@@ -271,9 +333,17 @@ class ExclusivePathNetwork:
                 self._busy.update(links)
                 duration = size / min(self._capacities[link] for link in links)
                 started = self._sim.now
+                if self.observer is not None:
+                    self.observer.flow_started(self._sim.now, links, size)
+                    self._notify_rates()
 
-                def release(links=links, done=done, started=started) -> None:
+                def release(links=links, done=done, started=started, size=size) -> None:
                     self._busy.difference_update(links)
+                    if self.observer is not None:
+                        self.observer.flow_finished(
+                            self._sim.now, links, size, self._sim.now - started
+                        )
+                        self._notify_rates()
                     done.succeed(self._sim.now - started)
                     self._drain()
 

@@ -6,7 +6,6 @@ variants so CI exercises the whole harness path in seconds.
 
 from __future__ import annotations
 
-from dataclasses import replace
 
 import pytest
 

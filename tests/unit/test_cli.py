@@ -92,3 +92,57 @@ class TestSimulate:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+_SMALL = [
+    "simulate",
+    "--nodes", "6", "--racks", "2", "--code", "4,2",
+    "--blocks", "24", "--seed", "2",
+]
+
+
+class TestObservabilityExports:
+    def test_scheduler_flag_is_case_insensitive(self, capsys):
+        assert main(_SMALL + ["--scheduler", "edf"]) == 0
+        assert "scheduler: EDF" in capsys.readouterr().out
+
+    def test_events_export(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "events.jsonl"
+        assert main(_SMALL + ["--events", str(target)]) == 0
+        lines = target.read_text().strip().split("\n")
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert {"job.submit", "heartbeat", "sched.decision", "task.launch",
+                "task.finish", "job.finish"} <= kinds
+
+    def test_chrome_trace_export(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "trace.json"
+        assert main(_SMALL + ["--chrome-trace", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert any(event["ph"] == "X" for event in payload["traceEvents"])
+
+    def test_utilization_report_to_stdout(self, capsys):
+        assert main(_SMALL + ["--utilization-report", "-"]) == 0
+        out = capsys.readouterr().out
+        assert "map slots" in out
+        assert "links" in out
+
+    def test_exports_create_parent_directories(self, capsys, tmp_path):
+        target = tmp_path / "deep" / "nested" / "events.jsonl"
+        assert main(_SMALL + ["--events", str(target)]) == 0
+        assert target.exists()
+
+    def test_json_export_creates_parent_directories(self, capsys, tmp_path):
+        target = tmp_path / "deep" / "trace.json"
+        assert main(_SMALL + ["--json", str(target)]) == 0
+        assert target.exists()
+
+    def test_unwritable_path_exits_2_without_traceback(self, capsys, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("")
+        target = blocker / "sub" / "events.jsonl"  # parent is a regular file
+        assert main(_SMALL + ["--events", str(target)]) == 2
+        assert "cannot write" in capsys.readouterr().err

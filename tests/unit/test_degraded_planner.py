@@ -7,7 +7,7 @@ import pytest
 from repro.cluster.topology import ClusterTopology
 from repro.ec.codec import CodeParams
 from repro.sim.rng import RngStreams
-from repro.storage.degraded import DegradedReadPlanner, SourceSelection
+from repro.storage.degraded import SourceSelection
 from repro.storage.hdfs import HdfsRaidCluster
 
 

@@ -6,7 +6,6 @@ import pytest
 
 from repro.cluster.topology import ClusterTopology
 from repro.ec.codec import CodeParams
-from repro.sim.rng import RngStreams
 from repro.storage.hdfs import HdfsRaidCluster
 
 

@@ -1,0 +1,269 @@
+"""Unit tests for the observability layer (:mod:`repro.obs`)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    EventBus,
+    Gauge,
+    MetricsRegistry,
+    ObservabilityCollector,
+    Profiler,
+    TimeWeightedSeries,
+    WILDCARD,
+    events_jsonl,
+    sanitize,
+)
+
+
+# -- event bus -----------------------------------------------------------------
+
+
+class TestEventBus:
+    def test_emit_returns_event_with_payload(self):
+        bus = EventBus()
+        event = bus.emit("task.launch", 3.5, node=7, kind="map")
+        assert event.time == 3.5
+        assert event.kind == "task.launch"
+        assert event.fields == {"node": 7, "kind": "map"}
+
+    def test_to_dict_is_flat_with_reserved_keys(self):
+        bus = EventBus()
+        event = bus.emit("heartbeat", 1.0, node=2, free_map=4)
+        assert event.to_dict() == {
+            "t": 1.0, "kind": "heartbeat", "node": 2, "free_map": 4
+        }
+
+    def test_kind_specific_subscription(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("heartbeat", seen.append)
+        bus.emit("heartbeat", 0.0, node=1)
+        bus.emit("task.launch", 0.0, node=1)
+        assert [event.kind for event in seen] == ["heartbeat"]
+
+    def test_wildcard_sees_everything_after_specific(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe("a", lambda e: order.append("specific"))
+        bus.subscribe(WILDCARD, lambda e: order.append("wildcard"))
+        bus.emit("a", 0.0)
+        bus.emit("b", 0.0)
+        assert order == ["specific", "wildcard", "wildcard"]
+
+    def test_counts_and_emitted(self):
+        bus = EventBus()
+        for _ in range(3):
+            bus.emit("a", 0.0)
+        bus.emit("b", 1.0)
+        assert bus.emitted == 4
+        assert bus.counts == {"a": 3, "b": 1}
+
+    def test_reserved_keys_win_in_flat_form(self):
+        bus = EventBus()
+        event = bus.emit("task.kill", 2.0, kind="reduce", t="not-a-clock")
+        assert event.fields["kind"] == "reduce"
+        # The flat form never loses the event's own kind/timestamp.
+        assert event.to_dict()["kind"] == "task.kill"
+        assert event.to_dict()["t"] == 2.0
+
+
+# -- metrics primitives --------------------------------------------------------
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        counter = Counter("n")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("n").inc(-1)
+
+    def test_gauge_holds_last_value(self):
+        gauge = Gauge("depth")
+        gauge.set(3)
+        gauge.set(1)
+        assert gauge.value == 1
+
+    def test_registry_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("y") is registry.gauge("y")
+        assert registry.time_series("z") is registry.time_series("z")
+
+
+class TestTimeWeightedSeries:
+    def test_integral_of_piecewise_constant_steps(self):
+        series = TimeWeightedSeries("slots")
+        series.record(0.0, 2.0)
+        series.record(4.0, 1.0)
+        series.record(6.0, 0.0)
+        # 2 for 4s, then 1 for 2s: integral over [0, 10] = 8 + 2 + 0.
+        assert series.integral(0.0, 10.0) == pytest.approx(10.0)
+        assert series.average(0.0, 10.0) == pytest.approx(1.0)
+
+    def test_windowed_integral_splits_segments(self):
+        series = TimeWeightedSeries("slots")
+        series.record(0.0, 4.0)
+        series.record(10.0, 0.0)
+        assert series.integral(5.0, 15.0) == pytest.approx(20.0)
+        assert series.average(5.0, 15.0) == pytest.approx(2.0)
+
+    def test_value_at(self):
+        series = TimeWeightedSeries("slots")
+        series.record(1.0, 5.0)
+        series.record(3.0, 7.0)
+        assert series.value_at(0.5) == 0.0  # before the first sample
+        assert series.value_at(2.0) == 5.0
+        assert series.value_at(3.0) == 7.0
+
+    def test_same_time_overwrites(self):
+        series = TimeWeightedSeries("slots")
+        series.record(1.0, 5.0)
+        series.record(1.0, 9.0)
+        assert series.value_at(1.5) == 9.0
+        # Initial breakpoint plus the single (collapsed) change at t=1.
+        assert series.samples == [(0.0, 0.0), (1.0, 9.0)]
+
+    def test_same_value_collapses(self):
+        series = TimeWeightedSeries("slots")
+        series.record(0.0, 3.0)  # overwrites the initial breakpoint
+        series.record(2.0, 3.0)  # no change: dropped
+        assert series.samples == [(0.0, 3.0)]
+
+    def test_backwards_time_raises(self):
+        series = TimeWeightedSeries("slots")
+        series.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.record(4.0, 2.0)
+
+    def test_peak(self):
+        series = TimeWeightedSeries("slots")
+        series.record(0.0, 1.0)
+        series.record(1.0, 6.0)
+        series.record(2.0, 2.0)
+        assert series.peak() == 6.0
+
+    def test_empty_series(self):
+        series = TimeWeightedSeries("slots")
+        assert series.integral(0.0, 10.0) == 0.0
+        assert series.average(0.0, 10.0) == 0.0
+        assert series.peak() == 0.0
+
+
+# -- profiler ------------------------------------------------------------------
+
+
+class TestProfiler:
+    def test_span_accumulates_wall_clock(self):
+        profiler = Profiler()
+        with profiler.span("setup"):
+            pass
+        with profiler.span("setup"):
+            pass
+        assert profiler.spans["setup"] >= 0.0
+
+    def test_events_per_second(self):
+        profiler = Profiler()
+        profiler.spans["run"] = 2.0
+        profiler.events_dispatched = 1000
+        assert profiler.events_per_second == pytest.approx(500.0)
+
+    def test_report_and_render(self):
+        profiler = Profiler()
+        with profiler.span("run"):
+            pass
+        profiler.events_dispatched = 10
+        report = profiler.report()
+        assert report["events_dispatched"] == 10
+        assert "run" in profiler.render()
+
+
+# -- exporters -----------------------------------------------------------------
+
+
+class TestExport:
+    def test_sanitize_replaces_non_finite(self):
+        payload = {"a": math.nan, "b": [1.0, math.inf], "c": {"d": -math.inf}}
+        assert sanitize(payload) == {"a": None, "b": [1.0, None], "c": {"d": None}}
+
+    def test_events_jsonl_is_strict_json(self):
+        bus = EventBus()
+        events = [
+            bus.emit("a", 0.0, value=math.nan),
+            bus.emit("b", 1.0, node=3),
+        ]
+        text = events_jsonl(events)
+        lines = text.strip().split("\n")
+        assert len(lines) == 2
+        assert json.loads(lines[0])["value"] is None
+        assert json.loads(lines[1]) == {"t": 1.0, "kind": "b", "node": 3}
+        assert "NaN" not in text
+
+
+# -- collector -----------------------------------------------------------------
+
+
+class TestCollector:
+    def test_collects_events_and_counts(self):
+        collector = ObservabilityCollector()
+        collector.bus.emit("heartbeat", 0.0, node=1, assigned_maps=0,
+                           assigned_reduces=0)
+        collector.bus.emit("task.launch", 0.0, node=1)
+        assert [event.kind for event in collector.events] == [
+            "heartbeat", "task.launch"
+        ]
+
+    def test_decision_trace_recorded(self):
+        collector = ObservabilityCollector()
+        collector.bus.emit(
+            "sched.decision", 1.0,
+            scheduler="EDF", node=4, job_id=0, action="assign",
+            reason="degraded-first", m=1, M=10, m_d=1, M_d=2,
+        )
+        assert len(collector.decisions) == 1
+        decision = collector.decisions[0]
+        assert decision.fields["reason"] == "degraded-first"
+        assert collector.decision_counts[("assign", "degraded-first")] == 1
+
+    def test_heartbeat_latency_needs_previous_beat(self):
+        collector = ObservabilityCollector()
+        collector.bus.emit("heartbeat", 0.0, node=1, assigned_maps=1,
+                           assigned_reduces=0)
+        assert collector.heartbeat_latencies == []  # first beat: no baseline
+        collector.bus.emit("heartbeat", 3.0, node=1, assigned_maps=2,
+                           assigned_reduces=0)
+        assert collector.heartbeat_latencies == [pytest.approx(3.0)]
+
+    def test_slot_observer_feeds_series(self):
+        collector = ObservabilityCollector()
+        collector.slot_changed(0.0, "map:1", 2, 4, 0)
+        collector.slot_changed(5.0, "map:1", 0, 4, 1)
+        collector.finalize(10.0)
+        series = collector.registry.time_series("slot.map:1")
+        assert series.average(0.0, 10.0) == pytest.approx(1.0)
+
+    def test_link_observer_normalises_by_capacity(self):
+        collector = ObservabilityCollector()
+        collector.register_links({"rack0:up": 100.0})
+        collector.rates_updated(0.0, {"rack0:up": 50.0})
+        collector.rates_updated(4.0, {})
+        collector.finalize(8.0)
+        series = collector.registry.time_series("link.rack0:up")
+        assert series.average(0.0, 8.0) == pytest.approx(0.25)
+
+    def test_utilization_report_renders(self):
+        collector = ObservabilityCollector()
+        collector.slot_changed(0.0, "map:0", 1, 2, 0)
+        collector.finalize(2.0)
+        report = collector.render_utilization_report()
+        assert "map slots" in report
+        assert "observability events" in report

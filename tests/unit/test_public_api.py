@@ -49,6 +49,8 @@ class TestSubpackageSurfaces:
             ("repro.testbed", ["TestbedCluster", "TestbedConfig", "WordCountJob",
                                "HdfsRaidFilesystem", "generate_corpus"]),
             ("repro.experiments", ["get_experiment", "list_experiments", "ExperimentTable"]),
+            ("repro.obs", ["ObservabilityCollector", "EventBus", "MetricsRegistry",
+                           "TimeWeightedSeries", "chrome_trace", "events_jsonl"]),
         ],
     )
     def test_documented_names_importable(self, module, names):
@@ -66,6 +68,7 @@ class TestSubpackageSurfaces:
             "repro.analysis",
             "repro.testbed",
             "repro.experiments",
+            "repro.obs",
         ):
             module = importlib.import_module(module_name)
             for name in getattr(module, "__all__", []):

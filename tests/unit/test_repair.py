@@ -7,7 +7,6 @@ import pytest
 from repro.cluster.network import NetworkSpec
 from repro.cluster.topology import ClusterTopology
 from repro.ec.codec import CodeParams
-from repro.sim.rng import RngStreams
 from repro.storage.hdfs import HdfsRaidCluster
 from repro.storage.repair import RepairPlanner
 

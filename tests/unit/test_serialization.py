@@ -10,7 +10,6 @@ from repro.mapreduce.config import JobConfig, SimulationConfig
 from repro.mapreduce.serialization import (
     config_from_dict,
     config_from_json,
-    config_to_dict,
     config_to_json,
     load_config,
 )

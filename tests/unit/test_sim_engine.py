@@ -6,10 +6,8 @@ import pytest
 
 from repro.sim.engine import (
     AllOf,
-    Event,
     Interrupt,
     SimulationError,
-    Simulator,
     Timeout,
 )
 

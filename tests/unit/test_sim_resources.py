@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.sim.engine import Simulator, Timeout
+from repro.sim.engine import Timeout
 from repro.sim.resources import ExclusivePathNetwork, FluidNetwork, Semaphore
 
 

@@ -3,12 +3,10 @@
 from __future__ import annotations
 
 import threading
-import time
 
 import pytest
 
 from repro.cluster.network import NetworkSpec
-from repro.cluster.topology import ClusterTopology
 from repro.testbed.netem import EmulatedNetwork
 
 
