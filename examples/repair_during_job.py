@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Run the storage layer's online repair *during* the MapReduce job.
+
+``repair_planning.py`` prices a full-node reconstruction offline; this
+example actually runs one, concurrently with the job it is racing.  A node
+fails, map tasks start taking degraded reads, and a background repair
+driver (throttled to a bandwidth cap) rebuilds the lost blocks on
+surviving nodes.  Every repaired block flips its pending map task back
+from DEGRADED to a normal read -- the repair *reclaims* foreground work --
+while the repair flows compete with map and shuffle traffic on the very
+same links.
+
+Run:  python examples/repair_during_job.py
+"""
+
+from dataclasses import replace
+
+from repro import (
+    CodeParams,
+    FailurePattern,
+    JobConfig,
+    RepairConfig,
+    SimulationConfig,
+    run_simulation,
+)
+from repro.cluster.network import MB, mbps
+from repro.obs import ObservabilityCollector
+from repro.storage.repair_driver import RepairDriver
+
+# Locality-first scheduling leaves degraded tasks pending until the end of
+# the map phase -- exactly the window an online repair can exploit.
+BASE = SimulationConfig(
+    num_nodes=12,
+    num_racks=3,
+    map_slots=2,
+    reduce_slots=1,
+    code=CodeParams(6, 4),
+    block_size=64 * MB,
+    rack_bandwidth=mbps(1000),
+    jobs=(JobConfig(num_blocks=192, num_reduce_tasks=4, map_time_mean=10.0, map_time_std=0.5),),
+    failure=FailurePattern.SINGLE_NODE,
+    scheduler="LF",
+    seed=7,
+)
+
+
+def _flow_bytes(collector: ObservabilityCollector) -> tuple[float, float]:
+    """(repair_bytes, foreground_bytes) completed, split by throttle link."""
+    repair = foreground = 0.0
+    for event in collector.events:
+        if event.kind != "flow.end":
+            continue
+        if RepairDriver.THROTTLE in event.fields["links"]:
+            repair += event.fields["size"]
+        else:
+            foreground += event.fields["size"]
+    return repair, foreground
+
+
+def main() -> None:
+    baseline = run_simulation(BASE)
+    print("without repair:")
+    print(f"  runtime          {baseline.job(0).runtime:8.1f} s")
+    print(f"  degraded tasks   {baseline.job(0).degraded_task_count:8d}")
+
+    collector = ObservabilityCollector()
+    config = replace(
+        BASE, repair=RepairConfig(bandwidth_cap=mbps(800), concurrent_repairs=4)
+    )
+    result = run_simulation(config, observer=collector)
+    repairs = result.faults.repairs
+    reclaimed = sum(record.reclaimed_tasks for record in repairs)
+    window = (
+        (min(r.started_at for r in repairs), max(r.finished_at for r in repairs))
+        if repairs
+        else (0.0, 0.0)
+    )
+    print("\nwith an online repair driver (800 Mbps cap, 4 workers):")
+    print(f"  runtime          {result.job(0).runtime:8.1f} s")
+    print(f"  degraded tasks   {result.job(0).degraded_task_count:8d}")
+    print(
+        f"  repairs          {len(repairs):8d} blocks rebuilt between"
+        f" {window[0]:.1f} s and {window[1]:.1f} s"
+    )
+    print(f"  reclassified     {reclaimed:8d} pending degraded tasks -> normal reads")
+
+    repair_bytes, foreground_bytes = _flow_bytes(collector)
+    total = repair_bytes + foreground_bytes
+    print("\nbandwidth split (completed flow bytes):")
+    print(
+        f"  repair traffic     {repair_bytes / (1024 ** 3):6.2f} GiB"
+        f"  ({repair_bytes / total:5.1%})"
+    )
+    print(
+        f"  foreground traffic {foreground_bytes / (1024 ** 3):6.2f} GiB"
+        f"  ({foreground_bytes / total:5.1%})"
+    )
+    throttle = next(
+        (row for row in collector.link_summary() if row[0] == RepairDriver.THROTTLE),
+        None,
+    )
+    if throttle is not None:
+        print(
+            f"  repair cap usage   avg {throttle[1]:5.1%}  peak {throttle[2]:5.1%}"
+        )
+
+    print(
+        "\nEvery block the repair driver lands before the scheduler reaches"
+        "\nits task converts a degraded read back into a normal one; the"
+        "\nprice is repair traffic sharing links with the job.  Tune the"
+        "\nbandwidth cap to trade repair speed against foreground slowdown."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -18,19 +18,31 @@ Quickstart
 
 from repro.cluster.failures import FailurePattern
 from repro.ec.codec import CodeParams
-from repro.faults import FailEvent, FailureSchedule, JobFailedError, RecoverEvent, SlowdownEvent
+from repro.faults import (
+    CorruptEvent,
+    DataUnavailableError,
+    FailEvent,
+    FailureSchedule,
+    JobFailedError,
+    RecoverEvent,
+    SlowdownEvent,
+)
 from repro.mapreduce.config import JobConfig, SimulationConfig
+from repro.storage.repair_driver import RepairConfig
 
 __version__ = "1.0.0"
 
 __all__ = [
     "CodeParams",
+    "CorruptEvent",
+    "DataUnavailableError",
     "FailEvent",
     "FailurePattern",
     "FailureSchedule",
     "JobConfig",
     "JobFailedError",
     "RecoverEvent",
+    "RepairConfig",
     "SimulationConfig",
     "SlowdownEvent",
     "run_simulation",

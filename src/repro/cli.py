@@ -10,6 +10,18 @@ Commands
     Run a single simulation trial with explicit parameters and print its
     summary -- handy for quick what-if exploration.
 
+Exit codes
+----------
+``0``
+    Success: every job completed.
+``1``
+    The trial ran but a job failed (retry budget exhausted or data
+    unavailable after too many failures); the summary printed is the
+    partial result.
+``2``
+    Bad invocation: unparsable flags, a malformed ``--code``/config file,
+    or an unwritable output path.
+
 Environment knobs: ``REPRO_SEEDS`` (samples per configuration, default 30),
 ``REPRO_WORKERS`` (process-pool width), ``REPRO_TESTBED_RUNS`` (testbed
 repetitions, default 3).
@@ -95,6 +107,33 @@ def _build_parser() -> argparse.ArgumentParser:
         help="launch speculative backups for straggling map tasks",
     )
     simulate.add_argument(
+        "--repair-bandwidth-mbps",
+        type=float,
+        default=None,
+        help="enable the online repair driver with this aggregate bandwidth "
+        "cap (disabled when omitted)",
+    )
+    simulate.add_argument(
+        "--repair-concurrent",
+        type=int,
+        default=2,
+        help="concurrent repair worker flows (default 2; needs "
+        "--repair-bandwidth-mbps)",
+    )
+    simulate.add_argument(
+        "--scrub-interval",
+        type=float,
+        default=None,
+        help="proactively scan one node's blocks for corruption every this "
+        "many seconds (needs --repair-bandwidth-mbps)",
+    )
+    simulate.add_argument(
+        "--wait-for-repair",
+        action="store_true",
+        help="park tasks whose stripe is undecodable until repair/recovery "
+        "restores it, instead of failing the job",
+    )
+    simulate.add_argument(
         "--timeline",
         action="store_true",
         help="render an ASCII map-slot activity chart (the paper's Figure 3 view)",
@@ -166,6 +205,24 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         from repro.faults.schedule import FailureSchedule
 
         schedule = FailureSchedule.load(args.failure_trace)
+    repair = None
+    if args.repair_bandwidth_mbps is not None:
+        from repro.storage.repair_driver import RepairConfig
+
+        try:
+            repair = RepairConfig(
+                bandwidth_cap=mbps(args.repair_bandwidth_mbps),
+                concurrent_repairs=args.repair_concurrent,
+                scrub_interval=args.scrub_interval,
+            )
+        except ValueError as error:
+            print(f"bad repair options: {error}", file=sys.stderr)
+            return 2
+    elif args.scrub_interval is not None:
+        print(
+            "--scrub-interval needs --repair-bandwidth-mbps", file=sys.stderr
+        )
+        return 2
     config = SimulationConfig(
         num_nodes=args.nodes,
         num_racks=args.racks,
@@ -180,6 +237,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         max_attempts=args.max_attempts,
         heartbeat_expiry=args.heartbeat_expiry,
         speculative=args.speculative,
+        repair=repair,
+        wait_for_repair=args.wait_for_repair,
         scheduler=args.scheduler,
         seed=args.seed,
     )
@@ -280,6 +339,21 @@ def _report_faults(result) -> int:
         print(
             f"node {record.node} blacklisted at {record.at:.1f} s "
             f"after {record.consecutive_failures} consecutive failures"
+        )
+    for record in faults.corruptions:
+        print(
+            f"block {record.block} found corrupt on node {record.node} "
+            f"at {record.detected_at:.1f} s (via {record.via})"
+        )
+    if faults.repairs:
+        first = min(record.started_at for record in faults.repairs)
+        last = max(record.finished_at for record in faults.repairs)
+        reclaimed = sum(record.reclaimed_tasks for record in faults.repairs)
+        print(
+            f"repairs: {len(faults.repairs)} blocks rebuilt "
+            f"({faults.repaired_bytes / 1e6:.0f} MB fetched) between "
+            f"{first:.1f} s and {last:.1f} s, "
+            f"{reclaimed} degraded tasks reclassified"
         )
     killed = sum(job.killed_attempts for job in result.jobs.values())
     spec_launched = sum(job.speculative_launched for job in result.jobs.values())

@@ -133,9 +133,40 @@ class NodeTree:
             self._nic_in(dst_node),
         ]
 
+    def add_throttle(self, name: str, capacity: float) -> None:
+        """Register a virtual throttle link (e.g. the repair bandwidth cap).
+
+        A throttle link is not part of any node-to-node path; callers add it
+        to a transfer via :meth:`transfer_throttled`, so the combined rate
+        of all flows sharing the throttle never exceeds ``capacity`` while
+        each flow still competes max-min fairly on the real links it
+        crosses.  Must be called before :meth:`set_observer` for the link to
+        appear in utilization reports.
+        """
+        self._links.add_link(name, capacity)
+
+    def has_throttle(self, name: str) -> bool:
+        """Whether a throttle link with this name is registered."""
+        return self._links.has_link(name)
+
     def transfer(self, src_node: int, dst_node: int, size: float) -> Event:
         """Move ``size`` bytes; the returned event fires on completion."""
         return self._links.transfer(self.path(src_node, dst_node), size)
+
+    def transfer_throttled(
+        self, src_node: int, dst_node: int, size: float, throttle: str
+    ) -> Event:
+        """Move ``size`` bytes with the flow also crossing a throttle link."""
+        return self._links.transfer(
+            self.path(src_node, dst_node) + [throttle], size
+        )
+
+    def cancel(self, done: Event) -> bool:
+        """Abort an in-flight transfer by its completion event (source died).
+
+        True if the flow was found and removed; its event never fires.
+        """
+        return self._links.cancel(done)
 
     def transfer_from_rack(self, src_rack: int, dst_node: int, size: float) -> Event:
         """Move ``size`` bytes aggregated from several nodes of one rack.

@@ -263,6 +263,26 @@ class JobTaskState:
         self.total_degraded_tasks -= len(reclaimed)
         return len(reclaimed)
 
+    def on_block_repaired(self, block: BlockId, new_home: int) -> int:
+        """Reclassify one pending degraded task whose block was just rebuilt.
+
+        The online repair driver re-created ``block`` on ``new_home``; if a
+        pending degraded task was waiting on it, the task returns to the
+        normal pool with its new home (``M_d`` shrinks, ``M`` unchanged).
+        Parity blocks and already-running tasks are unaffected.  Returns
+        the number of reclaimed tasks (0 or 1).
+        """
+        if block not in self._pending_degraded:
+            return 0
+        self._pending_degraded.remove(block)
+        queue = self._pending_by_node.setdefault(new_home, deque())
+        queue.append(block)
+        rack = self.topology.rack_of(new_home)
+        self._pending_per_rack[rack] = self._pending_per_rack.get(rack, 0) + 1
+        self._pending_normal += 1
+        self.total_degraded_tasks -= 1
+        return 1
+
     def requeue_killed_map(self, block: BlockId, was_degraded: bool, lost: bool) -> None:
         """Put a killed running map task back into the right pool.
 

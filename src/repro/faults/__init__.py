@@ -5,26 +5,33 @@ experiments inject failures only at trial start; real erasure-coded clusters
 fail *during* jobs, recover, and limp.  The pieces here close that gap:
 
 * :mod:`repro.faults.schedule` -- a declarative, reproducible timeline of
-  :class:`FailEvent` / :class:`RecoverEvent` / :class:`SlowdownEvent`
-  entries, buildable programmatically or from a JSON trace;
+  :class:`FailEvent` / :class:`RecoverEvent` / :class:`SlowdownEvent` /
+  :class:`CorruptEvent` entries, buildable programmatically or from a JSON
+  trace;
 * :mod:`repro.faults.driver` -- the simulator processes that replay a
   schedule against a running cluster and detect dead trackers from
   heartbeat expiry (the master is *not* told about failures omnisciently);
 * :mod:`repro.faults.records` -- what the fault machinery measured:
-  detection latencies, blacklist events, recoveries, slowdowns;
+  detection latencies, blacklist events, recoveries, slowdowns, repairs,
+  corruption discoveries;
 * :mod:`repro.faults.errors` -- :class:`JobFailedError`, raised when a
-  task exhausts its retry budget and the job is abandoned cleanly.
+  task exhausts its retry budget and the job is abandoned cleanly, and
+  :class:`DataUnavailableError`, its subclass for stripes that dropped
+  below ``k`` readable blocks.
 """
 
-from repro.faults.errors import JobFailedError
+from repro.faults.errors import DataUnavailableError, JobFailedError
 from repro.faults.records import (
     BlacklistRecord,
+    CorruptionRecord,
     DetectionRecord,
     FaultTimeline,
     RecoveryRecord,
+    RepairRecord,
     SlowdownRecord,
 )
 from repro.faults.schedule import (
+    CorruptEvent,
     FailEvent,
     FailureSchedule,
     RecoverEvent,
@@ -33,6 +40,9 @@ from repro.faults.schedule import (
 
 __all__ = [
     "BlacklistRecord",
+    "CorruptEvent",
+    "CorruptionRecord",
+    "DataUnavailableError",
     "DetectionRecord",
     "FailEvent",
     "FailureSchedule",
@@ -40,6 +50,7 @@ __all__ = [
     "JobFailedError",
     "RecoverEvent",
     "RecoveryRecord",
+    "RepairRecord",
     "SlowdownEvent",
     "SlowdownRecord",
 ]

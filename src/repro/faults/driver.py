@@ -20,7 +20,14 @@ from typing import TYPE_CHECKING
 
 from repro.cluster.topology import ClusterTopology
 from repro.faults.records import SlowdownRecord
-from repro.faults.schedule import FailEvent, FailureSchedule, RecoverEvent, SlowdownEvent
+from repro.faults.schedule import (
+    CorruptEvent,
+    FailEvent,
+    FailureSchedule,
+    RecoverEvent,
+    SlowdownEvent,
+)
+from repro.storage.block import BlockId
 from repro.sim.engine import Timeout
 
 if TYPE_CHECKING:  # imported for typing only; avoids a runtime import cycle
@@ -66,6 +73,16 @@ def install_schedule(
                 event.at + event.duration,
                 lambda event=event: runtime.end_slowdown(event.node, event.factor),
             )
+        elif isinstance(event, CorruptEvent):
+            block_map = runtime.tracker.hdfs.block_map
+            params = block_map.params
+            if event.stripe >= block_map.num_stripes or event.position >= params.n:
+                raise ValueError(
+                    f"corrupt event references unknown block "
+                    f"stripe={event.stripe} position={event.position}"
+                )
+            block = BlockId(stripe_id=event.stripe, position=event.position, k=params.k)
+            sim.call_at(event.at, lambda block=block: runtime.corrupt_block(block))
         else:  # pragma: no cover - the schedule type union is closed
             raise AssertionError(f"unhandled event {event!r}")
 

@@ -16,3 +16,20 @@ class JobFailedError(RuntimeError):
     def __init__(self, message: str, result: Any = None) -> None:
         super().__init__(message)
         self.result = result
+
+
+class DataUnavailableError(JobFailedError):
+    """A stripe dropped below ``k`` readable blocks, so its data is gone.
+
+    Raised when more than ``n - k`` concurrent failures (or corruptions)
+    leave a degraded task with nothing to decode from, and the trial was not
+    asked to ``wait_for_repair``.  Subclasses :class:`JobFailedError` so the
+    partial-result contract (and CLI exit code 1) is shared; ``stripe_id``
+    names one affected stripe when known.
+    """
+
+    def __init__(
+        self, message: str, result: Any = None, stripe_id: int | None = None
+    ) -> None:
+        super().__init__(message, result)
+        self.stripe_id = stripe_id

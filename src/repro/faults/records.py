@@ -50,6 +50,39 @@ class RecoveryRecord:
 
 
 @dataclass(frozen=True)
+class RepairRecord:
+    """The online repair driver rebuilt one lost (or corrupt) block."""
+
+    #: ``str(BlockId)`` of the rebuilt block.
+    block: str
+    #: Node the rebuilt block now lives on.
+    destination: int
+    started_at: float
+    finished_at: float
+    #: Bytes downloaded by the destination (``k`` source blocks).
+    bytes_fetched: float
+    #: Pending degraded map tasks reclassified to normal locality because
+    #: this block came back.
+    reclaimed_tasks: int
+    #: Plan/execution attempts (``> 1`` when a source died mid-repair).
+    attempts: int = 1
+
+
+@dataclass(frozen=True)
+class CorruptionRecord:
+    """A checksum-bad block was discovered on a live node."""
+
+    #: ``str(BlockId)`` of the corrupt block.
+    block: str
+    #: Node holding the corrupt copy.
+    node: int
+    #: Instant the corruption was noticed.
+    detected_at: float
+    #: ``"read"`` (a task tripped over it) or ``"scrub"`` (proactive scan).
+    via: str
+
+
+@dataclass(frozen=True)
 class SlowdownRecord:
     """A node ran at reduced speed for a while."""
 
@@ -67,6 +100,13 @@ class FaultTimeline:
     blacklistings: list[BlacklistRecord] = field(default_factory=list)
     recoveries: list[RecoveryRecord] = field(default_factory=list)
     slowdowns: list[SlowdownRecord] = field(default_factory=list)
+    repairs: list[RepairRecord] = field(default_factory=list)
+    corruptions: list[CorruptionRecord] = field(default_factory=list)
+
+    @property
+    def repaired_bytes(self) -> float:
+        """Total bytes the repair driver moved during the trial."""
+        return sum(record.bytes_fetched for record in self.repairs)
 
     @property
     def detection_latencies(self) -> list[float]:

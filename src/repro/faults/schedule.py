@@ -17,7 +17,8 @@ Schedules are built three ways:
       {"events": [{"kind": "fail", "at": 30.0, "node": 5},
                   {"kind": "recover", "at": 120.0, "node": 5},
                   {"kind": "slowdown", "at": 60.0, "node": 7,
-                   "factor": 4.0, "duration": 50.0}]}
+                   "factor": 4.0, "duration": 50.0},
+                  {"kind": "corrupt", "at": 15.0, "stripe": 2, "position": 0}]}
 
 * from the paper's at-start patterns via
   :meth:`repro.cluster.failures.FailureInjector.to_schedule`, which makes
@@ -94,10 +95,38 @@ class SlowdownEvent:
             raise ValueError(f"slowdown duration must be positive, got {self.duration}")
 
 
-FaultEvent = Union[FailEvent, RecoverEvent, SlowdownEvent]
+@dataclass(frozen=True)
+class CorruptEvent:
+    """One stored block goes checksum-bad at ``at`` while its node stays up.
+
+    ``stripe`` / ``position`` name the block (position ``>= k`` is a parity
+    block).  The master is *not* told: corruption is discovered lazily when
+    a reader checksums the block, or proactively by the scrubber process if
+    one is configured (see :mod:`repro.storage.repair_driver`).
+    """
+
+    at: float
+    stripe: int
+    position: int
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"negative event time {self.at}")
+        if self.stripe < 0:
+            raise ValueError(f"negative stripe id {self.stripe}")
+        if self.position < 0:
+            raise ValueError(f"negative block position {self.position}")
+
+
+FaultEvent = Union[FailEvent, RecoverEvent, SlowdownEvent, CorruptEvent]
 
 #: ``kind`` tag used in dict/JSON traces, per event class.
-_KIND_OF = {FailEvent: "fail", RecoverEvent: "recover", SlowdownEvent: "slowdown"}
+_KIND_OF = {
+    FailEvent: "fail",
+    RecoverEvent: "recover",
+    SlowdownEvent: "slowdown",
+    CorruptEvent: "corrupt",
+}
 _CLASS_OF = {kind: cls for cls, kind in _KIND_OF.items()}
 
 
@@ -166,6 +195,8 @@ class FailureSchedule:
         node_ids = set(topology.node_ids())
         rack_ids = {rack.rack_id for rack in topology.racks}
         for event in self.events:
+            if isinstance(event, CorruptEvent):
+                continue  # block coordinates are validated against the BlockMap
             if isinstance(event, FailEvent) and event.rack is not None:
                 if event.rack not in rack_ids:
                     raise ValueError(f"schedule references unknown rack {event.rack}")

@@ -16,6 +16,7 @@ from repro.cluster.network import MB, NetworkSpec, gbps
 from repro.ec.codec import CodeParams
 from repro.faults.schedule import FailureSchedule
 from repro.storage.degraded import SourceSelection
+from repro.storage.repair_driver import RepairConfig
 
 #: The paper's three schedulers (the full accepted set, including ablation
 #: variants and user registrations, comes from
@@ -117,6 +118,20 @@ class SimulationConfig:
     #: Straggler threshold: elapsed > multiplier x median completed map time.
     speculative_multiplier: float = 1.5
 
+    # Online repair and resilient degraded reads
+    #: Online repair driver knobs; None leaves lost blocks unrepaired (the
+    #: paper's setting: degraded reads serve everything).
+    repair: RepairConfig | None = None
+    #: Park tasks whose stripe dropped below ``k`` readable blocks until
+    #: repair/recovery restores decodability, instead of failing the job.
+    wait_for_repair: bool = False
+    #: Times a degraded read re-plans after losing a source mid-flight
+    #: before the attempt is handed back to the master.
+    degraded_read_retries: int = 3
+    #: Base backoff (seconds) before a degraded read re-plans; scales
+    #: linearly with the retry number.
+    degraded_read_backoff: float = 1.0
+
     # Reproducibility
     seed: int = 0
 
@@ -149,6 +164,10 @@ class SimulationConfig:
             raise ValueError("blacklist threshold must be at least 1 (or None)")
         if self.speculative_multiplier <= 1.0:
             raise ValueError("speculative multiplier must exceed 1")
+        if self.degraded_read_retries < 0:
+            raise ValueError("degraded_read_retries must be non-negative")
+        if self.degraded_read_backoff <= 0:
+            raise ValueError("degraded_read_backoff must be positive")
 
     @property
     def total_blocks(self) -> int:

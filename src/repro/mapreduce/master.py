@@ -30,7 +30,13 @@ from dataclasses import dataclass, replace
 from repro.cluster.topology import ClusterTopology
 from repro.core.scheduler import Scheduler
 from repro.core.tasks import JobTaskState
-from repro.faults.records import BlacklistRecord, DetectionRecord, FaultTimeline, RecoveryRecord
+from repro.faults.records import (
+    BlacklistRecord,
+    CorruptionRecord,
+    DetectionRecord,
+    FaultTimeline,
+    RecoveryRecord,
+)
 from repro.mapreduce.config import JobConfig
 from repro.mapreduce.job import MapAssignment, MapTaskCategory, ReduceAssignment
 from repro.mapreduce.metrics import JobMetrics, TaskRecord
@@ -146,6 +152,17 @@ class JobTracker:
         self._completed_maps: dict[int, set[AttemptKey]] = {}
         self._map_durations: dict[int, list[float]] = {}
 
+        # -- online repair / data-availability state ------------------------
+        #: Attached by the simulation wiring when a RepairConfig is set.
+        self.repair_driver = None
+        #: Fired whenever data availability improves (a node recovered or a
+        #: repaired block landed); parked ``wait_for_repair`` tasks wait on
+        #: it, re-check their stripe and re-park if still undecodable.
+        self._availability: Event | None = None
+        #: Tasks currently parked waiting for repair (``wait_for_repair``).
+        self.parked_tasks = 0
+        self._corruption_reported: set = set()
+
     @property
     def finished(self) -> bool:
         """True once every expected job has completed (or failed)."""
@@ -164,7 +181,7 @@ class JobTracker:
         stored file, so jobs with fewer blocks than the file holds see a
         truncated view.
         """
-        view = self.hdfs.failure_view(self.failed_nodes)
+        view = self.hdfs.failure_view(self.failed_nodes, strict=False)
         if config.num_blocks < len(view.lost_blocks) + len(view.available_blocks):
             view = replace(
                 view,
@@ -359,12 +376,17 @@ class JobTracker:
             return
         self.failed_nodes = self.failed_nodes | {node_id}
         self.last_heartbeat.pop(node_id, None)
-        self.hdfs.block_map.check_recoverable(self.failed_nodes)
+        # Deliberately *no* recoverability check here: more than ``n - k``
+        # concurrent failures are handled lazily, per task, when a degraded
+        # read finds fewer than ``k`` readable survivors (it then fails the
+        # job with DataUnavailableError, or parks under wait_for_repair).
         live = self.scheduler.context.live_nodes
         if isinstance(live, set):
             live.discard(node_id)
         for state in self.active_jobs:
             state.on_node_failure(node_id)
+        if self.repair_driver is not None:
+            self.repair_driver.on_node_failed(node_id)
         if self.bus is not None:
             self.bus.emit("node.fail", self.sim.now, node=node_id)
         count = self.consecutive_failures.get(node_id, 0) + 1
@@ -453,7 +475,79 @@ class JobTracker:
             self.bus.emit(
                 "node.recover", self.sim.now, node=node_id, reclaimed_tasks=reclaimed
             )
+        self.notify_availability()
+        if self.repair_driver is not None:
+            self.repair_driver.on_availability_changed()
         return reclaimed
+
+    # -- online repair and data availability -----------------------------------
+
+    def availability_event(self) -> Event:
+        """The event parked ``wait_for_repair`` tasks sleep on.
+
+        A fresh event is created after each :meth:`notify_availability`
+        firing, so every waiter wakes exactly once per availability change.
+        """
+        if self._availability is None or self._availability.fired:
+            self._availability = self.sim.event(name="availability")
+        return self._availability
+
+    def notify_availability(self) -> None:
+        """Wake every parked task: data availability just improved."""
+        if self._availability is not None and not self._availability.fired:
+            self._availability.succeed()
+
+    def on_block_repaired(self, block, new_home: int) -> int:
+        """A rebuilt block landed on ``new_home``: reclassify and wake.
+
+        Pending degraded tasks waiting on the block return to the normal
+        pool with the new locality; parked tasks re-check their stripes.
+        Returns the number of reclaimed tasks.
+        """
+        reclaimed = sum(
+            state.on_block_repaired(block, new_home) for state in self.active_jobs
+        )
+        self.notify_availability()
+        return reclaimed
+
+    def report_corruption(self, block, via: str) -> None:
+        """A checksum-bad block was discovered (read-time or scrubber).
+
+        Records the discovery once per block, emits ``block.corrupt`` and
+        queues the block for rebuild when a repair driver is attached.
+        """
+        if block in self._corruption_reported:
+            return
+        self._corruption_reported.add(block)
+        node = self.hdfs.block_map.node_of(block)
+        self.faults.corruptions.append(
+            CorruptionRecord(
+                block=str(block), node=node, detected_at=self.sim.now, via=via
+            )
+        )
+        if self.bus is not None:
+            self.bus.emit(
+                "block.corrupt", self.sim.now,
+                block=str(block), node=node, via=via,
+            )
+        if self.repair_driver is not None:
+            self.repair_driver.enqueue(block)
+
+    def attempt_record(
+        self, assignment: MapAssignment | ReduceAssignment
+    ) -> RunningAttempt | None:
+        """The registered in-flight attempt matching ``assignment``, if any."""
+        for attempt in self._attempts_by_task.get(_attempt_key(assignment), []):
+            if attempt.assignment == assignment:
+                return attempt
+        return None
+
+    def fail_job_data_unavailable(self, job_id: int, reason: str) -> None:
+        """Abandon a job because a stripe dropped below ``k`` readable blocks."""
+        state = self._jobs_by_id.get(job_id)
+        if state is None:
+            return  # already retired
+        self._fail_job(state, reason, kind="data-unavailable")
 
     def on_map_task_killed(self, assignment: MapAssignment) -> None:
         """A running map attempt died with its node: account it, maybe requeue.
@@ -607,11 +701,14 @@ class JobTracker:
             )
         self._retire_job(state)
 
-    def _fail_job(self, state: JobTaskState, reason: str) -> None:
+    def _fail_job(
+        self, state: JobTaskState, reason: str, kind: str = "retry-budget"
+    ) -> None:
         """Abandon a job cleanly: record why, kill its attempts, retire it."""
         metrics = self.metrics[state.job_id]
         metrics.failed = True
         metrics.failure_reason = reason
+        metrics.failure_kind = kind
         metrics.finish_time = self.sim.now
         if self.bus is not None:
             self.bus.emit("job.fail", self.sim.now, job_id=state.job_id, reason=reason)

@@ -54,6 +54,8 @@ class JobMetrics:
     #: True when the job was abandoned (a task exhausted its retry budget).
     failed: bool = False
     failure_reason: str | None = None
+    #: Failure class: ``"retry-budget"`` or ``"data-unavailable"``.
+    failure_kind: str | None = None
     #: Attempts killed by node failures (requeued for re-execution).
     killed_attempts: int = 0
     #: Speculative backups launched / interrupted because the other copy won.

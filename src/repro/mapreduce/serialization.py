@@ -24,6 +24,7 @@ from repro.ec.codec import CodeParams
 from repro.faults.schedule import FailureSchedule
 from repro.mapreduce.config import JobConfig, SimulationConfig
 from repro.storage.degraded import SourceSelection
+from repro.storage.repair_driver import RepairConfig
 
 
 def config_to_dict(config: SimulationConfig) -> dict[str, Any]:
@@ -37,6 +38,8 @@ def config_to_dict(config: SimulationConfig) -> dict[str, Any]:
         payload["speed_factors"] = list(config.speed_factors)
     if config.failure_schedule is not None:
         payload["failure_schedule"] = config.failure_schedule.to_dict()
+    if config.repair is not None:
+        payload["repair"] = dataclasses.asdict(config.repair)
     return payload
 
 
@@ -72,6 +75,9 @@ def config_from_dict(payload: dict[str, Any]) -> SimulationConfig:
     schedule = kwargs.get("failure_schedule")
     if schedule is not None and not isinstance(schedule, FailureSchedule):
         kwargs["failure_schedule"] = FailureSchedule.from_dict(schedule)
+    repair = kwargs.get("repair")
+    if repair is not None and not isinstance(repair, RepairConfig):
+        kwargs["repair"] = RepairConfig(**repair)
     return SimulationConfig(**kwargs)
 
 

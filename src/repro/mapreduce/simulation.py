@@ -24,7 +24,7 @@ from repro.cluster.nodetree import NodeTree
 from repro.cluster.topology import ClusterTopology
 from repro.core.scheduler import SchedulerContext, make_scheduler
 from repro.faults.driver import failure_detector_process, install_schedule
-from repro.faults.errors import JobFailedError
+from repro.faults.errors import DataUnavailableError, JobFailedError
 from repro.mapreduce.config import SimulationConfig
 from repro.mapreduce.master import JobTracker
 from repro.mapreduce.metrics import SimulationResult
@@ -32,6 +32,7 @@ from repro.mapreduce.slave import SlaveRuntime
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 from repro.storage.hdfs import HdfsRaidCluster
+from repro.storage.repair_driver import RepairDriver
 
 
 def build_topology(config: SimulationConfig) -> ClusterTopology:
@@ -86,8 +87,6 @@ def run_simulation(config: SimulationConfig, observer=None) -> SimulationResult:
         observer.profiler.events_dispatched = sim.dispatched
         observer.profiler.events_emitted = bus.emitted
         observer.finalize(sim.now)
-    if not tracker.finished:
-        raise RuntimeError("simulation ended before all jobs completed")
     result = SimulationResult(
         jobs=tracker.metrics,
         failed_nodes=tracker.failed_nodes,
@@ -99,6 +98,15 @@ def run_simulation(config: SimulationConfig, observer=None) -> SimulationResult:
         },
         faults=tracker.faults,
     )
+    if not tracker.finished:
+        if tracker.parked_tasks > 0:
+            raise DataUnavailableError(
+                f"{tracker.parked_tasks} task(s) still parked waiting for "
+                "repair when the event heap drained -- the lost data never "
+                "became decodable again",
+                result,
+            )
+        raise RuntimeError("simulation ended before all jobs completed")
     failed_jobs = sorted(
         job_id for job_id, metrics in tracker.metrics.items() if metrics.failed
     )
@@ -107,7 +115,13 @@ def run_simulation(config: SimulationConfig, observer=None) -> SimulationResult:
             f"job {job_id}: {tracker.metrics[job_id].failure_reason}"
             for job_id in failed_jobs
         )
-        raise JobFailedError(f"{len(failed_jobs)} job(s) failed -- {reasons}", result)
+        message = f"{len(failed_jobs)} job(s) failed -- {reasons}"
+        if any(
+            tracker.metrics[job_id].failure_kind == "data-unavailable"
+            for job_id in failed_jobs
+        ):
+            raise DataUnavailableError(message, result)
+        raise JobFailedError(message, result)
     return result
 
 
@@ -149,7 +163,10 @@ def _build_trial(
         deferred_failure = config.failure_time is not None and bool(chosen_victims)
         initial_failed = frozenset() if deferred_failure else chosen_victims
 
-    if chosen_victims:
+    if chosen_victims and not config.wait_for_repair:
+        # Fail fast on an undecodable initial failure set.  With
+        # ``wait_for_repair`` the check is deferred to read time: tasks park
+        # until scripted recoveries restore decodability.
         hdfs.block_map.check_recoverable(chosen_victims)
 
     scheduler = make_scheduler(
@@ -165,6 +182,10 @@ def _build_trial(
 
     scheduler.bus = bus
     nodetree = NodeTree(sim, topology, config.network_spec(), model=config.network_model)
+    if config.repair is not None:
+        # The virtual throttle link must exist before the observer snapshots
+        # the link set, so repair traffic shows up in utilization reports.
+        nodetree.add_throttle(RepairDriver.THROTTLE, config.repair.bandwidth_cap)
     if observer is not None:
         nodetree.set_observer(observer)
     tracker = JobTracker(
@@ -183,6 +204,21 @@ def _build_trial(
     runtime = SlaveRuntime(
         sim, config, tracker, nodetree, hdfs.planner, rng, observer=observer
     )
+
+    if config.repair is not None:
+        driver = RepairDriver(
+            sim,
+            config.repair,
+            hdfs.block_map,
+            nodetree,
+            rng,
+            tracker,
+            config.block_size,
+            bus=bus,
+        )
+        tracker.repair_driver = driver
+        runtime.repair_driver = driver
+        driver.start()
 
     for job_id, job_config in enumerate(config.jobs):
         sim.call_at(

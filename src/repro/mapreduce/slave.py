@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections.abc import Generator
 
 from repro.cluster.nodetree import NodeTree
+from repro.faults.errors import DataUnavailableError
 from repro.mapreduce.config import SimulationConfig
 from repro.mapreduce.job import MapAssignment, MapTaskCategory, ReduceAssignment, TaskKind
 from repro.mapreduce.master import JobTracker
@@ -29,10 +30,15 @@ from repro.mapreduce.metrics import TaskRecord
 from repro.sim.engine import Interrupt, Process, Simulator, Timeout
 from repro.sim.resources import Semaphore
 from repro.sim.rng import RngStreams
+from repro.storage.block import BlockId
 from repro.storage.degraded import DegradedReadPlanner
 
 #: Interrupt causes after which the slot is released (the node is alive).
 _RELEASE_SLOT_CAUSES = ("speculative-kill", "job-aborted")
+
+#: Interrupt cause thrown into a degraded reader whose source node died:
+#: the affected flows were cancelled and the read must re-plan.
+_REPLAN_CAUSE = "degraded-replan"
 
 
 class SlaveRuntime:
@@ -76,6 +82,13 @@ class SlaveRuntime:
         self.crash_times: dict[int, float] = {}
         self._slowdowns: dict[int, float] = {}
         self._slave_procs: dict[int, Process] = {}
+        #: Attached by the simulation wiring when a RepairConfig is set.
+        self.repair_driver = None
+        #: In-flight degraded reads by token, so a dying source node can
+        #: break exactly the reads fetching from it (see
+        #: :meth:`_abort_transfers_from`).
+        self._degraded_reads: dict[int, dict] = {}
+        self._next_read_token = 0
 
     def spawn_slave(self, node_id: int) -> Process:
         """Start (or restart, after recovery) the heartbeat loop of a node."""
@@ -102,6 +115,7 @@ class SlaveRuntime:
             process.interrupt("node-failure")
         self._running[node_id].clear()
         self._note_slots_lost(node_id)
+        self._abort_transfers_from(node_id)
 
     def crash_node(self, node_id: int) -> None:
         """Kill a node silently: heartbeats stop, its processes die.
@@ -121,6 +135,58 @@ class SlaveRuntime:
             process.interrupt("crash")
         self._running[node_id].clear()
         self._note_slots_lost(node_id)
+        self._abort_transfers_from(node_id)
+
+    def _abort_transfers_from(self, node_id: int) -> None:
+        """A node just died: break every transfer it was serving.
+
+        Degraded reads fetching from the node have their flows cancelled
+        and their reader processes interrupted with :data:`_REPLAN_CAUSE`
+        so they re-plan against current survivors; in-flight repairs with
+        the node as an endpoint are aborted the same way.  Readers that
+        died with the node are skipped -- their own kill path handles them.
+        """
+        for entry in list(self._degraded_reads.values()):
+            if node_id not in entry["sources"]:
+                continue
+            reader = entry["reader"]
+            if (
+                reader == node_id
+                or reader in self.crash_times
+                or reader in self.tracker.failed_nodes
+            ):
+                continue
+            entry["lost"].add(node_id)
+            for flow in entry["flows"]:
+                if not flow.fired:
+                    self.nodetree.cancel(flow)
+            if entry["process"] is not None:
+                entry["process"].interrupt(_REPLAN_CAUSE)
+        if self.repair_driver is not None:
+            self.repair_driver.abort_flows_from(node_id)
+
+    def _register_degraded_read(self, entry: dict) -> int:
+        token = self._next_read_token
+        self._next_read_token += 1
+        self._degraded_reads[token] = entry
+        return token
+
+    def _unregister_degraded_read(self, token: int) -> None:
+        self._degraded_reads.pop(token, None)
+
+    # -- corruption faults ------------------------------------------------------
+
+    def corrupt_block(self, block: BlockId) -> None:
+        """Ground-truth corruption strike from the failure schedule.
+
+        Nobody is told: readers discover the bad checksum at read time and
+        the scrubber (if configured) finds it proactively.
+        """
+        self.tracker.hdfs.block_map.mark_corrupt(block)
+
+    def is_corrupt(self, block: BlockId) -> bool:
+        """Whether a block's stored copy is currently checksum-bad."""
+        return self.tracker.hdfs.block_map.is_corrupt(block)
 
     def _note_slots_lost(self, node_id: int) -> None:
         """Zero the dead node's slot-occupancy series (observability only)."""
@@ -297,41 +363,15 @@ def _map_task_body(runtime: SlaveRuntime, assignment: MapAssignment) -> Generato
         speculative=assignment.speculative,
     )
 
-    if assignment.category is MapTaskCategory.DEGRADED:
-        plan = runtime.planner.plan(
-            assignment.block,
-            assignment.slave_id,
-            runtime.tracker.failed_nodes,
-            runtime.rng,
-        )
-        per_rack: dict[int, float] = {}
-        for source in plan.sources:
-            if source.node_id == assignment.slave_id:
-                continue  # already on this node, no transfer
-            rack = runtime.tracker.topology.rack_of(source.node_id)
-            per_rack[rack] = per_rack.get(rack, 0.0) + config.block_size
-        bus = runtime.tracker.bus
-        if bus is not None:
-            bus.emit(
-                "degraded.start", sim.now,
-                job_id=assignment.job_id, block=str(assignment.block),
-                node=assignment.slave_id,
-                surviving_blocks=len(plan.sources),
-                racks={str(rack): size for rack, size in sorted(per_rack.items())},
-            )
-        flows = [
-            runtime.nodetree.transfer_from_rack(rack, assignment.slave_id, size)
-            for rack, size in sorted(per_rack.items())
-        ]
-        if flows:
-            yield sim.all_of(flows)
-        record.download_time = sim.now - record.launch_time
-        if bus is not None:
-            bus.emit(
-                "degraded.end", sim.now,
-                job_id=assignment.job_id, block=str(assignment.block),
-                node=assignment.slave_id, duration=record.download_time,
-            )
+    corrupt = runtime.is_corrupt(assignment.block)
+    if assignment.category is MapTaskCategory.DEGRADED or corrupt:
+        if corrupt and assignment.category is not MapTaskCategory.DEGRADED:
+            # Checksum failure on a live replica: report it (which queues a
+            # repair) and reconstruct from the stripe's other blocks instead.
+            runtime.tracker.report_corruption(assignment.block, via="read")
+        fetched = yield from _degraded_fetch(runtime, assignment, record)
+        if not fetched:
+            return
     elif assignment.category in (MapTaskCategory.RACK_LOCAL, MapTaskCategory.REMOTE):
         home = runtime.tracker.hdfs.node_of(assignment.block)
         yield runtime.nodetree.transfer(home, assignment.slave_id, config.block_size)
@@ -356,6 +396,191 @@ def _map_task_body(runtime: SlaveRuntime, assignment: MapAssignment) -> Generato
             download=record.download_time,
         )
     runtime.tracker.on_map_complete(record, shuffle_bytes, assignment)
+
+
+def _degraded_fetch(
+    runtime: SlaveRuntime, assignment: MapAssignment, record: TaskRecord
+) -> Generator:
+    """Reconstruct a lost/corrupt block, surviving source deaths mid-read.
+
+    Plans a degraded read against the current survivors and streams the
+    ``k`` fragments in.  If a source node dies while flows are in flight,
+    :meth:`SlaveRuntime.abort_degraded_reads_from` cancels the flows and
+    interrupts this process with :data:`_REPLAN_CAUSE`; the read then
+    re-plans (avoiding every source it has watched die) after a linear
+    backoff, up to ``config.degraded_read_retries`` times before the
+    attempt is handed back to the master.  If the stripe has dropped below
+    ``k`` readable blocks the task either parks on the tracker's
+    availability event (``config.wait_for_repair``) or fails the job with
+    a typed :class:`DataUnavailableError`.
+
+    Returns ``True`` when the data landed, ``False`` when the task is over
+    (job failed or attempt requeued); the caller must return immediately
+    on ``False`` -- the slot has already been dealt with.
+    """
+    sim = runtime.sim
+    config = runtime.config
+    tracker = runtime.tracker
+    bus = tracker.bus
+    observed_dead: set[int] = set()
+    replans = 0
+    while True:
+        # The block may have come back since this attempt was classified
+        # degraded: its home node recovered, or a repair rebuilt it
+        # elsewhere.  Then a plain remote read replaces reconstruction.
+        home = tracker.hdfs.node_of(assignment.block)
+        if (
+            home not in tracker.failed_nodes
+            and home not in runtime.crash_times
+            and not runtime.is_corrupt(assignment.block)
+        ):
+            if home == assignment.slave_id:
+                return True
+            flow = runtime.nodetree.transfer(
+                home, assignment.slave_id, config.block_size
+            )
+            attempt = tracker.attempt_record(assignment)
+            token = runtime._register_degraded_read(
+                {
+                    "sources": {home},
+                    "flows": [flow],
+                    "process": attempt.process if attempt is not None else None,
+                    "reader": assignment.slave_id,
+                    "lost": set(),
+                }
+            )
+            try:
+                yield flow
+            except Interrupt as interrupt:
+                runtime._unregister_degraded_read(token)
+                if interrupt.cause != _REPLAN_CAUSE:
+                    raise
+                observed_dead.add(home)
+                replans += 1
+                if replans > config.degraded_read_retries:
+                    runtime.map_slots[assignment.slave_id].release()
+                    tracker.on_map_task_killed(assignment)
+                    return False
+                yield Timeout(config.degraded_read_backoff * replans)
+                continue
+            runtime._unregister_degraded_read(token)
+            record.download_time = sim.now - record.launch_time
+            return True
+        # Avoid only sources that are *still* down: a recovered node is a
+        # perfectly good source again.
+        avoid = frozenset(
+            node for node in observed_dead
+            if node in runtime.crash_times or node in tracker.failed_nodes
+        )
+        try:
+            plan = runtime.planner.plan(
+                assignment.block,
+                assignment.slave_id,
+                tracker.failed_nodes,
+                runtime.rng,
+                avoid=avoid,
+            )
+        except DataUnavailableError as error:
+            if config.wait_for_repair:
+                if bus is not None:
+                    bus.emit(
+                        "degraded.park", sim.now,
+                        job_id=assignment.job_id, block=str(assignment.block),
+                        node=assignment.slave_id, reason=str(error),
+                    )
+                tracker.parked_tasks += 1
+                try:
+                    yield tracker.availability_event()
+                finally:
+                    tracker.parked_tasks -= 1
+                if bus is not None:
+                    bus.emit(
+                        "degraded.unpark", sim.now,
+                        job_id=assignment.job_id, block=str(assignment.block),
+                        node=assignment.slave_id,
+                    )
+                continue
+            runtime.map_slots[assignment.slave_id].release()
+            tracker.fail_job_data_unavailable(assignment.job_id, str(error))
+            return False
+        # A source may have crashed between this attempt being scheduled and
+        # the plan being drawn (the tracker only learns of silent crashes at
+        # heartbeat expiry).  Reading from a dead node would hang forever.
+        stale = {source.node_id for source in plan.sources} & set(runtime.crash_times)
+        if stale:
+            observed_dead |= stale
+            replans += 1
+            if replans > config.degraded_read_retries:
+                runtime.map_slots[assignment.slave_id].release()
+                tracker.on_map_task_killed(assignment)
+                return False
+            if bus is not None:
+                bus.emit(
+                    "degraded.replan", sim.now,
+                    job_id=assignment.job_id, block=str(assignment.block),
+                    node=assignment.slave_id, replan=replans,
+                    lost_sources=sorted(stale),
+                )
+            yield Timeout(config.degraded_read_backoff * replans)
+            continue
+        per_rack: dict[int, float] = {}
+        for source in plan.sources:
+            if source.node_id == assignment.slave_id:
+                continue  # already on this node, no transfer
+            rack = runtime.tracker.topology.rack_of(source.node_id)
+            per_rack[rack] = per_rack.get(rack, 0.0) + config.block_size
+        if bus is not None:
+            bus.emit(
+                "degraded.start", sim.now,
+                job_id=assignment.job_id, block=str(assignment.block),
+                node=assignment.slave_id,
+                surviving_blocks=len(plan.sources),
+                racks={str(rack): size for rack, size in sorted(per_rack.items())},
+            )
+        flows = [
+            runtime.nodetree.transfer_from_rack(rack, assignment.slave_id, size)
+            for rack, size in sorted(per_rack.items())
+        ]
+        attempt = tracker.attempt_record(assignment)
+        entry = {
+            "sources": {source.node_id for source in plan.sources},
+            "flows": flows,
+            "process": attempt.process if attempt is not None else None,
+            "reader": assignment.slave_id,
+            "lost": set(),
+        }
+        token = runtime._register_degraded_read(entry)
+        try:
+            if flows:
+                yield sim.all_of(flows)
+        except Interrupt as interrupt:
+            runtime._unregister_degraded_read(token)
+            if interrupt.cause != _REPLAN_CAUSE:
+                raise
+            observed_dead |= entry["lost"]
+            replans += 1
+            if replans > config.degraded_read_retries:
+                runtime.map_slots[assignment.slave_id].release()
+                tracker.on_map_task_killed(assignment)
+                return False
+            if bus is not None:
+                bus.emit(
+                    "degraded.replan", sim.now,
+                    job_id=assignment.job_id, block=str(assignment.block),
+                    node=assignment.slave_id, replan=replans,
+                    lost_sources=sorted(entry["lost"]),
+                )
+            yield Timeout(config.degraded_read_backoff * replans)
+            continue
+        runtime._unregister_degraded_read(token)
+        record.download_time = sim.now - record.launch_time
+        if bus is not None:
+            bus.emit(
+                "degraded.end", sim.now,
+                job_id=assignment.job_id, block=str(assignment.block),
+                node=assignment.slave_id, duration=record.download_time,
+            )
+        return True
 
 
 def reduce_task_process(runtime: SlaveRuntime, assignment: ReduceAssignment) -> Generator:

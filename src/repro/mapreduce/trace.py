@@ -77,6 +77,7 @@ def to_json(result: SimulationResult, indent: int | None = None) -> str:
                 "finish_time": job.finish_time,
                 "runtime": job.runtime,
                 "failed": job.failed,
+                "failure_kind": job.failure_kind,
                 "killed_attempts": job.killed_attempts,
                 "speculative_launched": job.speculative_launched,
                 "speculative_killed": job.speculative_killed,
@@ -104,6 +105,27 @@ def to_json(result: SimulationResult, indent: int | None = None) -> str:
                     "reclaimed_tasks": record.reclaimed_tasks,
                 }
                 for record in result.faults.recoveries
+            ],
+            "repairs": [
+                {
+                    "block": record.block,
+                    "destination": record.destination,
+                    "started_at": record.started_at,
+                    "finished_at": record.finished_at,
+                    "bytes_fetched": record.bytes_fetched,
+                    "reclaimed_tasks": record.reclaimed_tasks,
+                    "attempts": record.attempts,
+                }
+                for record in result.faults.repairs
+            ],
+            "corruptions": [
+                {
+                    "block": record.block,
+                    "node": record.node,
+                    "detected_at": record.detected_at,
+                    "via": record.via,
+                }
+                for record in result.faults.corruptions
             ],
         },
         "tasks": to_records(result),

@@ -97,6 +97,14 @@ class ObservabilityCollector:
         """A network flow completed."""
         self.bus.emit("flow.end", now, links=list(links), size=size, duration=duration)
 
+    def flow_cancelled(
+        self, now: float, links: tuple[str, ...], size: float, moved: float
+    ) -> None:
+        """A network flow was aborted mid-flight (its source node died)."""
+        self.bus.emit(
+            "flow.cancel", now, links=list(links), size=size, moved=moved
+        )
+
     def rates_updated(self, now: float, link_rates: dict[str, float]) -> None:
         """The contention model reallocated bandwidth; record utilization."""
         for link, capacity in self._link_capacities.items():

@@ -32,8 +32,16 @@ kind                   emitted when
 ``task.requeue``       the master re-queued a lost attempt for re-execution
 ``degraded.start``     a degraded read began fetching surviving blocks
 ``degraded.end``       a degraded read finished reconstructing its block
+``degraded.replan``    a degraded read lost a source mid-flight and re-planned
+``degraded.park``      a task parked waiting for repair to restore its stripe
+``degraded.unpark``    a parked task woke after an availability change
+``block.corrupt``      a checksum-bad block was discovered (read or scrub)
+``repair.start``       the repair driver began rebuilding one block
+``repair.end``         a rebuilt block landed and the BlockMap was updated
+``repair.retry``       a repair lost a source mid-flight and will re-plan
 ``flow.start``         a network flow entered the fluid/exclusive network
 ``flow.end``           a network flow completed
+``flow.cancel``        a network flow was aborted (its source node died)
 ``slot.change``        a map/reduce slot was taken or released
 ``shuffle.deposit``    a completed map deposited intermediate data
 ``shuffle.drain``      a reducer claimed its pending shuffle bytes

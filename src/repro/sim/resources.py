@@ -180,6 +180,31 @@ class FluidNetwork:
             return len(self._flows)
         return sum(1 for flow in self._flows if link in flow.links)
 
+    def cancel(self, done: Event) -> bool:
+        """Abort the in-flight flow whose completion event is ``done``.
+
+        Returns True if the flow was found and removed (its event will then
+        never fire); False if it already completed or was never started.
+        Used when a transfer's source node dies mid-flight: the connection
+        breaks immediately and the bandwidth is redistributed to survivors.
+        """
+        for flow in self._flows:
+            if flow.done is done:
+                break
+        else:
+            return False
+        self._advance()
+        self._flows.remove(flow)
+        if self.observer is not None and hasattr(self.observer, "flow_cancelled"):
+            self.observer.flow_cancelled(
+                self._sim.now,
+                flow.links,
+                flow.size,
+                flow.size - flow.remaining,
+            )
+        self._reschedule()
+        return True
+
     # -- internals ----------------------------------------------------------
 
     def _advance(self) -> None:
@@ -276,6 +301,8 @@ class ExclusivePathNetwork:
         self._capacities: dict[str, float] = {}
         self._busy: set[str] = set()
         self._queue: list[tuple[tuple[str, ...], float, Event]] = []
+        #: Active holds by completion event, so a hold can be cancelled.
+        self._active: dict[Event, dict] = {}
         #: Optional network observer (same protocol as FluidNetwork's).
         self.observer = None
 
@@ -322,6 +349,33 @@ class ExclusivePathNetwork:
             return len(self._busy)
         return 1 if link in self._busy else 0
 
+    def cancel(self, done: Event) -> bool:
+        """Abort a queued or in-flight hold whose completion event is ``done``.
+
+        Returns True if found (the event will never fire), False otherwise.
+        """
+        for index, (_links, _size, pending) in enumerate(self._queue):
+            if pending is done:
+                del self._queue[index]
+                return True
+        handle = self._active.pop(done, None)
+        if handle is None:
+            return False
+        handle["cancelled"] = True
+        self._busy.difference_update(handle["links"])
+        if self.observer is not None:
+            if hasattr(self.observer, "flow_cancelled"):
+                self.observer.flow_cancelled(
+                    self._sim.now,
+                    handle["links"],
+                    handle["size"],
+                    # Exclusive holds move no partial bytes; the hold simply ends.
+                    0.0,
+                )
+            self._notify_rates()
+        self._drain()
+        return True
+
     def _drain(self) -> None:
         granted_any = True
         while granted_any:
@@ -333,11 +387,18 @@ class ExclusivePathNetwork:
                 self._busy.update(links)
                 duration = size / min(self._capacities[link] for link in links)
                 started = self._sim.now
+                handle = {"links": links, "size": size, "cancelled": False}
+                self._active[done] = handle
                 if self.observer is not None:
                     self.observer.flow_started(self._sim.now, links, size)
                     self._notify_rates()
 
-                def release(links=links, done=done, started=started, size=size) -> None:
+                def release(
+                    links=links, done=done, started=started, size=size, handle=handle
+                ) -> None:
+                    if handle["cancelled"]:
+                        return
+                    self._active.pop(done, None)
                     self._busy.difference_update(links)
                     if self.observer is not None:
                         self.observer.flow_finished(

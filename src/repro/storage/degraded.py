@@ -13,6 +13,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.cluster.topology import ClusterTopology
+from repro.faults.errors import DataUnavailableError
 from repro.sim.rng import RngStreams
 from repro.storage.block import BlockId, StoredBlock
 from repro.storage.namenode import BlockMap
@@ -85,15 +86,28 @@ class DegradedReadPlanner:
         reader_node: int,
         failed_nodes: frozenset[int],
         rng: RngStreams,
+        avoid: frozenset[int] = frozenset(),
     ) -> DegradedReadPlan:
-        """Choose ``k`` surviving source blocks for reconstructing ``lost_block``."""
+        """Choose ``k`` surviving source blocks for reconstructing ``lost_block``.
+
+        Sources are drawn only from the *readable* live view: nodes in
+        ``failed_nodes`` (the master's view) or ``avoid`` (nodes a reader
+        observed dead before the master declared them, during re-planning)
+        never appear, and neither do checksum-bad blocks.  Fewer than ``k``
+        such sources raises :class:`DataUnavailableError`.
+        """
         k = self.block_map.params.k
-        survivors = self.block_map.surviving_stripe_blocks(lost_block.stripe_id, failed_nodes)
-        survivors = [stored for stored in survivors if stored.block != lost_block]
+        survivors = self.block_map.readable_stripe_blocks(lost_block.stripe_id, failed_nodes)
+        survivors = [
+            stored
+            for stored in survivors
+            if stored.block != lost_block and stored.node_id not in avoid
+        ]
         if len(survivors) < k:
-            raise RuntimeError(
-                f"stripe {lost_block.stripe_id} has only {len(survivors)} survivors, "
-                f"need k={k}"
+            raise DataUnavailableError(
+                f"stripe {lost_block.stripe_id} has only {len(survivors)} readable "
+                f"survivors, need k={k}",
+                stripe_id=lost_block.stripe_id,
             )
         if self.selection is SourceSelection.RANDOM:
             chosen = rng.sample(f"degraded:{lost_block}", survivors, k)

@@ -77,12 +77,21 @@ class HdfsRaidCluster:
         self.block_map = BlockMap(params, assignment, num_native_blocks)
         self.planner = DegradedReadPlanner(self.block_map, topology, source_selection)
 
-    def failure_view(self, failed_nodes: frozenset[int]) -> FailureView:
+    def failure_view(
+        self, failed_nodes: frozenset[int], strict: bool = True
+    ) -> FailureView:
         """Split native blocks into lost vs available for this failure set.
 
-        Raises if the failure exceeds the code's tolerance for any stripe.
+        With ``strict`` (the default) raises
+        :class:`~repro.faults.errors.DataUnavailableError` if the failure
+        exceeds the code's tolerance for any stripe.  Non-strict callers
+        (the job tracker, which handles unavailability lazily per task)
+        still get the lost/available split; undecodable blocks simply stay
+        in ``lost_blocks`` and fail -- or park -- when a task tries to read
+        them.
         """
-        self.block_map.check_recoverable(failed_nodes)
+        if strict:
+            self.block_map.check_recoverable(failed_nodes)
         lost = tuple(self.block_map.lost_native_blocks(failed_nodes))
         lost_set = set(lost)
         available = tuple(

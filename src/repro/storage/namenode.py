@@ -12,6 +12,7 @@ from collections.abc import Iterable, Mapping
 
 from repro.cluster.topology import ClusterTopology
 from repro.ec.codec import CodeParams
+from repro.faults.errors import DataUnavailableError
 from repro.storage.block import BlockId, StoredBlock
 
 
@@ -38,6 +39,8 @@ class BlockMap:
         self.params = params
         self._assignment = dict(assignment)
         self.num_native_blocks = num_native_blocks
+        #: Blocks whose stored copy is checksum-bad (their node may be live).
+        self._corrupt: set[BlockId] = set()
         if num_native_blocks < 0:
             raise ValueError("negative native block count")
         self.num_stripes = -(-num_native_blocks // params.k) if num_native_blocks else 0
@@ -80,6 +83,32 @@ class BlockMap:
         """Every stored block with its location."""
         return [StoredBlock(block=block, node_id=node) for block, node in sorted(self._assignment.items())]
 
+    # -- mutation (online repair + corruption faults) ------------------------
+
+    def reassign(self, block: BlockId, node_id: int) -> None:
+        """Move ``block``'s home to ``node_id`` (a repaired copy landed there)."""
+        if block not in self._assignment:
+            raise KeyError(f"unknown block {block}")
+        self._assignment[block] = node_id
+
+    def mark_corrupt(self, block: BlockId) -> None:
+        """Record that the stored copy of ``block`` is checksum-bad."""
+        if block not in self._assignment:
+            raise KeyError(f"unknown block {block}")
+        self._corrupt.add(block)
+
+    def clear_corrupt(self, block: BlockId) -> None:
+        """A good copy of ``block`` was rewritten; drop the corruption mark."""
+        self._corrupt.discard(block)
+
+    def is_corrupt(self, block: BlockId) -> bool:
+        """Whether ``block``'s stored copy is checksum-bad."""
+        return block in self._corrupt
+
+    def corrupt_blocks(self) -> list[BlockId]:
+        """All currently corrupt blocks, sorted."""
+        return sorted(self._corrupt)
+
     # -- failure-mode views --------------------------------------------------
 
     def lost_native_blocks(self, failed_nodes: Iterable[int]) -> list[BlockId]:
@@ -98,17 +127,47 @@ class BlockMap:
             if stored.node_id not in failed
         ]
 
+    def readable_stripe_blocks(
+        self, stripe_id: int, failed_nodes: Iterable[int]
+    ) -> list[StoredBlock]:
+        """Surviving blocks of a stripe that are also checksum-good.
+
+        These are the blocks a degraded read or a repair may actually use
+        as sources; :meth:`surviving_stripe_blocks` is the location-only
+        view (a corrupt block still *occupies* its node for placement).
+        """
+        return [
+            stored
+            for stored in self.surviving_stripe_blocks(stripe_id, failed_nodes)
+            if stored.block not in self._corrupt
+        ]
+
     def is_recoverable(self, stripe_id: int, failed_nodes: Iterable[int]) -> bool:
         """Whether the stripe still has at least ``k`` surviving blocks."""
         return len(self.surviving_stripe_blocks(stripe_id, failed_nodes)) >= self.params.k
 
+    def is_decodable(self, stripe_id: int, failed_nodes: Iterable[int]) -> bool:
+        """Whether at least ``k`` survivors of the stripe are checksum-good."""
+        return len(self.readable_stripe_blocks(stripe_id, failed_nodes)) >= self.params.k
+
     def check_recoverable(self, failed_nodes: Iterable[int]) -> None:
-        """Raise if any stripe lost more than ``n - k`` blocks."""
+        """Raise :class:`DataUnavailableError` if any stripe lost > ``n - k`` blocks."""
         for stripe_id in range(self.num_stripes):
             if not self.is_recoverable(stripe_id, failed_nodes):
-                raise RuntimeError(
-                    f"stripe {stripe_id} is unrecoverable under failures {sorted(set(failed_nodes))}"
+                raise DataUnavailableError(
+                    f"stripe {stripe_id} is unrecoverable under failures "
+                    f"{sorted(set(failed_nodes))}",
+                    stripe_id=stripe_id,
                 )
+
+    def unavailable_stripes(self, failed_nodes: Iterable[int]) -> list[int]:
+        """Stripes that currently cannot be decoded (``< k`` readable blocks)."""
+        failed = set(failed_nodes)
+        return [
+            stripe_id
+            for stripe_id in range(self.num_stripes)
+            if not self.is_decodable(stripe_id, failed)
+        ]
 
     def blocks_per_node(self) -> dict[int, int]:
         """Histogram of stored blocks per node (for load-balance assertions)."""

@@ -1,0 +1,358 @@
+"""Online repair and multi-failure-resilient degraded reads, end to end.
+
+Covers the subsystem's contract:
+
+* zero perturbation -- enabling ``wait_for_repair`` or an idle repair
+  driver leaves failure-free / repair-free trials byte-identical;
+* mid-read source loss -- killing a node that is serving an in-flight
+  degraded read cancels the flows and the reader re-plans and completes;
+* too many failures -- more than ``n - k`` overlapping failures fail the
+  job with a typed :class:`DataUnavailableError` carrying the partial
+  result, or park tasks until recovery with ``wait_for_repair``;
+* bandwidth sharing -- repair flows compete with map/shuffle traffic and
+  show up in the utilization report;
+* observability -- ``repair.*``, ``degraded.replan`` and ``block.corrupt``
+  events appear in the JSONL event log.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cluster.network import MB, mbps
+from repro.ec.codec import CodeParams
+from repro.faults.errors import DataUnavailableError
+from repro.faults.schedule import (
+    CorruptEvent,
+    FailEvent,
+    FailureSchedule,
+    RecoverEvent,
+)
+from repro.cluster.failures import FailurePattern
+from repro.mapreduce.config import JobConfig, SimulationConfig
+from repro.mapreduce.simulation import run_simulation
+from repro.mapreduce.trace import to_json
+from repro.obs import ObservabilityCollector, events_jsonl
+from repro.storage.repair_driver import RepairConfig
+
+
+def _small_config(**overrides) -> SimulationConfig:
+    """12 nodes / 3 racks / (6,4): cheap but non-trivial trials."""
+    defaults = dict(
+        num_nodes=12,
+        num_racks=3,
+        map_slots=2,
+        reduce_slots=1,
+        code=CodeParams(6, 4),
+        block_size=64 * MB,
+        rack_bandwidth=mbps(1000),
+        jobs=(
+            JobConfig(
+                num_blocks=96,
+                num_reduce_tasks=4,
+                map_time_mean=10.0,
+                map_time_std=0.5,
+            ),
+        ),
+        failure=FailurePattern.NONE,
+        heartbeat_expiry=9.0,
+        seed=5,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+def _tiny_code_config(**overrides) -> SimulationConfig:
+    """6 nodes / 3 racks / (3,2): n-k = 1, so two failures are fatal."""
+    defaults = dict(
+        num_nodes=6,
+        num_racks=3,
+        map_slots=2,
+        reduce_slots=1,
+        code=CodeParams(3, 2),
+        block_size=64 * MB,
+        rack_bandwidth=mbps(1000),
+        jobs=(
+            JobConfig(
+                num_blocks=48,
+                num_reduce_tasks=2,
+                map_time_mean=10.0,
+                map_time_std=0.5,
+            ),
+        ),
+        failure=FailurePattern.NONE,
+        heartbeat_expiry=9.0,
+        seed=3,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestZeroPerturbation:
+    """Trials that never exercise the new machinery stay bit-identical."""
+
+    def test_wait_for_repair_flag_is_inert_without_unavailability(self):
+        config = _small_config(failure=FailurePattern.SINGLE_NODE)
+        baseline = run_simulation(config)
+        flagged = run_simulation(
+            dataclasses.replace(config, wait_for_repair=True)
+        )
+        assert to_json(baseline) == to_json(flagged)
+
+    def test_idle_repair_driver_is_inert_without_failures(self):
+        config = _small_config()
+        baseline = run_simulation(config)
+        with_driver = run_simulation(
+            dataclasses.replace(
+                config, repair=RepairConfig(bandwidth_cap=mbps(400))
+            )
+        )
+        assert to_json(baseline) == to_json(with_driver)
+
+    def test_retry_knobs_are_inert_without_mid_read_failures(self):
+        config = _small_config(failure=FailurePattern.SINGLE_NODE)
+        baseline = run_simulation(config)
+        tweaked = run_simulation(
+            dataclasses.replace(
+                config, degraded_read_retries=7, degraded_read_backoff=0.5
+            )
+        )
+        assert to_json(baseline) == to_json(tweaked)
+
+
+class TestMidReadSourceLoss:
+    """A source dying mid-read cancels flows; the reader re-plans and wins."""
+
+    # Tight bandwidth stretches degraded reads, so the second failure at
+    # t=15 catches reads in flight whose sources include node 5 (seed 1).
+    def _config(self):
+        return _small_config(
+            seed=1,
+            rack_bandwidth=mbps(150),
+            failure_schedule=FailureSchedule(
+                events=(FailEvent(at=0.0, node=0), FailEvent(at=15.0, node=5))
+            ),
+        )
+
+    def test_replans_and_completes(self):
+        collector = ObservabilityCollector()
+        result = run_simulation(self._config(), observer=collector)
+        kinds = [event.kind for event in collector.events]
+        assert kinds.count("degraded.replan") >= 1
+        assert kinds.count("flow.cancel") >= 1
+        job = result.job(0)
+        assert not job.failed
+        assert len([t for t in job.tasks if t.kind.value == "map"]) == 96
+
+    def test_replan_event_names_the_lost_source(self):
+        collector = ObservabilityCollector()
+        run_simulation(self._config(), observer=collector)
+        replans = [
+            event for event in collector.events if event.kind == "degraded.replan"
+        ]
+        assert replans
+        assert all(5 in event.fields["lost_sources"] for event in replans)
+
+
+class TestDataUnavailable:
+    """More than n-k overlapping failures fail the job with a typed error."""
+
+    def test_initial_overload_raises_before_run(self):
+        config = _tiny_code_config(
+            failure_schedule=FailureSchedule(
+                events=(FailEvent(at=0.0, node=0), FailEvent(at=0.0, node=2))
+            )
+        )
+        with pytest.raises(DataUnavailableError):
+            run_simulation(config)
+
+    def test_mid_run_overload_fails_job_with_partial_result(self):
+        config = _tiny_code_config(
+            failure_schedule=FailureSchedule(
+                events=(FailEvent(at=20.0, node=0), FailEvent(at=26.0, node=2))
+            )
+        )
+        with pytest.raises(DataUnavailableError) as excinfo:
+            run_simulation(config)
+        result = excinfo.value.result
+        assert result is not None
+        job = result.job(0)
+        assert job.failed
+        assert job.failure_kind == "data-unavailable"
+        # The partial result retains the tasks that did complete.
+        assert len(job.tasks) > 0
+
+    def test_wait_for_repair_parks_until_recovery(self):
+        config = _tiny_code_config(
+            wait_for_repair=True,
+            failure_schedule=FailureSchedule(
+                events=(
+                    FailEvent(at=20.0, node=0),
+                    FailEvent(at=26.0, node=2),
+                    RecoverEvent(at=120.0, node=2),
+                )
+            ),
+        )
+        collector = ObservabilityCollector()
+        result = run_simulation(config, observer=collector)
+        job = result.job(0)
+        assert not job.failed
+        kinds = [event.kind for event in collector.events]
+        assert kinds.count("degraded.park") >= 1
+        assert kinds.count("degraded.unpark") >= 1
+        # Parked tasks resumed only after the recovery restored decodability.
+        first_unpark = min(
+            event.time
+            for event in collector.events
+            if event.kind == "degraded.unpark"
+        )
+        assert first_unpark >= 120.0
+
+
+class TestRepairDriver:
+    """Repairs run in the background, reclassify tasks and share bandwidth."""
+
+    def test_repairs_complete_and_update_block_map(self):
+        config = _small_config(
+            failure=FailurePattern.SINGLE_NODE,
+            repair=RepairConfig(bandwidth_cap=mbps(800), concurrent_repairs=4),
+        )
+        result = run_simulation(config)
+        failed = next(iter(result.failed_nodes))
+        assert result.faults.repairs
+        assert result.faults.repaired_bytes > 0
+        for record in result.faults.repairs:
+            assert record.destination != failed
+            assert record.finished_at > record.started_at
+
+    def test_repair_reclassifies_pending_degraded_tasks(self):
+        # LF schedules degraded tasks last, leaving them pending long
+        # enough for repairs to land and reclaim them.
+        config = _small_config(
+            scheduler="LF",
+            seed=7,
+            jobs=(
+                JobConfig(
+                    num_blocks=192,
+                    num_reduce_tasks=4,
+                    map_time_mean=10.0,
+                    map_time_std=0.5,
+                ),
+            ),
+            failure=FailurePattern.SINGLE_NODE,
+            repair=RepairConfig(bandwidth_cap=mbps(800), concurrent_repairs=4),
+        )
+        result = run_simulation(config)
+        reclaimed = sum(r.reclaimed_tasks for r in result.faults.repairs)
+        assert reclaimed > 0
+        # Reclaimed tasks ran as normal reads, shrinking the degraded count
+        # relative to the same trial without a repair driver.
+        unrepaired = run_simulation(dataclasses.replace(config, repair=None))
+        assert (
+            result.job(0).degraded_task_count
+            < unrepaired.job(0).degraded_task_count
+        )
+
+    def test_repair_traffic_competes_for_bandwidth(self):
+        base = _small_config(
+            failure=FailurePattern.SINGLE_NODE, rack_bandwidth=mbps(300)
+        )
+        quiet = run_simulation(base)
+        collector = ObservabilityCollector()
+        busy = run_simulation(
+            dataclasses.replace(
+                base,
+                repair=RepairConfig(
+                    bandwidth_cap=mbps(600), concurrent_repairs=4
+                ),
+            ),
+            observer=collector,
+        )
+        # Repair flows ride the same links as map/shuffle traffic, so the
+        # foreground job measurably slows down...
+        assert busy.job(0).runtime > quiet.job(0).runtime
+        # ...and the throttle link reports nonzero utilization.
+        report = collector.render_utilization_report()
+        throttle_lines = [
+            line for line in report.splitlines() if "repair:cap" in line
+        ]
+        assert throttle_lines
+        assert "avg   0.0%" not in throttle_lines[0]
+
+
+class TestCorruption:
+    def test_read_detection_triggers_degraded_read_and_in_place_repair(self):
+        config = _small_config(
+            jobs=(
+                JobConfig(
+                    num_blocks=96,
+                    num_reduce_tasks=4,
+                    submit_time=10.0,
+                    map_time_mean=10.0,
+                    map_time_std=0.5,
+                ),
+            ),
+            failure_schedule=FailureSchedule(
+                events=(CorruptEvent(at=2.0, stripe=0, position=0),)
+            ),
+            repair=RepairConfig(bandwidth_cap=mbps(400)),
+        )
+        collector = ObservabilityCollector()
+        result = run_simulation(config, observer=collector)
+        assert [c.via for c in result.faults.corruptions] == ["read"]
+        assert len(result.faults.repairs) == 1
+        repaired = result.faults.repairs[0]
+        # Corruption on a live node is rewritten in place.
+        assert repaired.destination == result.faults.corruptions[0].node
+        kinds = [event.kind for event in collector.events]
+        assert "block.corrupt" in kinds
+        assert "degraded.start" in kinds
+
+    def test_scrubber_finds_unread_corruption(self):
+        # Parity blocks are never read by map tasks; only the scrubber
+        # can notice them going bad.
+        config = _small_config(
+            failure_schedule=FailureSchedule(
+                events=(CorruptEvent(at=1.0, stripe=2, position=5),)
+            ),
+            repair=RepairConfig(
+                bandwidth_cap=mbps(400), scrub_interval=10.0
+            ),
+        )
+        result = run_simulation(config)
+        assert [c.via for c in result.faults.corruptions] == ["scrub"]
+        assert len(result.faults.repairs) == 1
+
+
+class TestEventLog:
+    def test_repair_events_reach_the_jsonl_export(self):
+        config = _small_config(
+            seed=1,
+            rack_bandwidth=mbps(150),
+            failure_schedule=FailureSchedule(
+                events=(
+                    FailEvent(at=0.0, node=0),
+                    FailEvent(at=15.0, node=5),
+                    CorruptEvent(at=1.0, stripe=2, position=5),
+                )
+            ),
+            repair=RepairConfig(
+                bandwidth_cap=mbps(300), scrub_interval=10.0
+            ),
+        )
+        collector = ObservabilityCollector()
+        run_simulation(config, observer=collector)
+        kinds = {
+            json.loads(line)["kind"]
+            for line in events_jsonl(collector.events).splitlines()
+        }
+        for expected in (
+            "repair.start",
+            "repair.end",
+            "degraded.replan",
+            "block.corrupt",
+        ):
+            assert expected in kinds, f"missing {expected} in event log"

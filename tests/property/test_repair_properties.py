@@ -1,0 +1,161 @@
+"""Property-based tests of the repair planner under random multi-failures.
+
+Any failure set of at most ``n - k`` nodes must yield a repair plan that
+keeps every stripe's placement invariants (distinct nodes, rack cap when
+relaxation is unnecessary) and leaves every lost block decodable from its
+chosen sources; failure sets that kill more than ``n - k`` blocks of a
+stripe must raise the typed :class:`DataUnavailableError`.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import ClusterTopology
+from repro.ec.codec import CodeParams
+from repro.faults.errors import DataUnavailableError
+from repro.sim.rng import RngStreams
+from repro.storage.hdfs import HdfsRaidCluster
+from repro.storage.repair import RepairPlanner
+
+
+@st.composite
+def cluster_and_failures(draw, min_racks=3):
+    """A declustered (6,4) file over several racks, plus <= n-k failed nodes."""
+    num_racks = draw(st.integers(min_value=min_racks, max_value=5))
+    nodes_per_rack = draw(st.integers(min_value=3, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    params = CodeParams(6, 4)
+    topology = ClusterTopology.from_rack_sizes([nodes_per_rack] * num_racks)
+    cluster = HdfsRaidCluster(
+        topology,
+        params,
+        num_native_blocks=4 * params.k,
+        placement="declustered",
+        rng=RngStreams(seed),
+    )
+    node_ids = sorted(topology.node_ids())
+    count = draw(st.integers(min_value=1, max_value=params.parity))
+    failed = frozenset(
+        draw(
+            st.lists(
+                st.sampled_from(node_ids),
+                min_size=count,
+                max_size=count,
+                unique=True,
+            )
+        )
+    )
+    return topology, cluster, failed, seed
+
+
+@settings(max_examples=30, deadline=None)
+@given(cluster_and_failures())
+def test_tolerable_failures_yield_valid_plans(setup):
+    """<= n-k failures: every lost block gets a sound repair assignment."""
+    topology, cluster, failed, seed = setup
+    params = cluster.block_map.params
+    planner = RepairPlanner(cluster.block_map, topology)
+    plan = planner.plan(failed, RngStreams(seed + 1))
+
+    lost = {
+        stored.block
+        for stored in cluster.block_map.all_blocks()
+        if stored.node_id in failed
+    }
+    assert {repair.block for repair in plan.repairs} == lost
+
+    live_count = len(topology.node_ids()) - len(failed)
+    for repair in plan.repairs:
+        # Sources: exactly k readable survivors of the same stripe.
+        assert len(repair.sources) == params.k
+        for source in repair.sources:
+            assert source.node_id not in failed
+            assert source.block.stripe_id == repair.block.stripe_id
+            assert source.block != repair.block
+        # Destination: live, and (when the cluster is wide enough for the
+        # distinct-node invariant to be satisfiable) outside the stripe.
+        assert repair.destination not in failed
+        if live_count >= params.n:
+            survivors = {
+                stored.node_id
+                for stored in cluster.block_map.surviving_stripe_blocks(
+                    repair.block.stripe_id, failed
+                )
+            }
+            assert repair.destination not in survivors
+
+
+@settings(max_examples=30, deadline=None)
+@given(cluster_and_failures(min_racks=4))
+def test_planned_placement_respects_rack_cap(setup):
+    """Post-repair stripes stay within the rack cap when satisfiable.
+
+    With >= 4 racks a (6,4) stripe (rack cap 2) occupies at most 3 racks,
+    so an under-cap rack with live non-stripe nodes always exists and the
+    planner's relaxation tier must never fire.
+    """
+    topology, cluster, failed, seed = setup
+    params = cluster.block_map.params
+    planner = RepairPlanner(cluster.block_map, topology)
+    plan = planner.plan(failed, RngStreams(seed + 2))
+
+    destinations: dict[int, list[int]] = {}
+    for repair in plan.repairs:
+        destinations.setdefault(repair.block.stripe_id, []).append(
+            repair.destination
+        )
+    for stripe_id, rebuilt in destinations.items():
+        per_rack: dict[int, int] = {}
+        for stored in cluster.block_map.surviving_stripe_blocks(stripe_id, failed):
+            rack = topology.rack_of(stored.node_id)
+            per_rack[rack] = per_rack.get(rack, 0) + 1
+        for destination in rebuilt:
+            rack = topology.rack_of(destination)
+            per_rack[rack] = per_rack.get(rack, 0) + 1
+        assert max(per_rack.values()) <= params.parity
+
+    # And the rebuilt stripe keeps the distinct-node invariant.
+    for stripe_id, rebuilt in destinations.items():
+        survivors = [
+            stored.node_id
+            for stored in cluster.block_map.surviving_stripe_blocks(
+                stripe_id, failed
+            )
+        ]
+        assert len(set(survivors + rebuilt)) == len(survivors) + len(rebuilt)
+
+
+@settings(max_examples=30, deadline=None)
+@given(cluster_and_failures())
+def test_lost_blocks_remain_decodable(setup):
+    """Each repair's k sources suffice to decode the lost block (MDS)."""
+    topology, cluster, failed, seed = setup
+    params = cluster.block_map.params
+    planner = RepairPlanner(cluster.block_map, topology)
+    plan = planner.plan(failed, RngStreams(seed + 3))
+    for repair in plan.repairs:
+        positions = {source.block.position for source in repair.sources}
+        # k distinct stripe positions, none of them the lost block's own:
+        # an MDS code decodes from any k distinct blocks.
+        assert len(positions) == params.k
+        assert repair.block.position not in positions
+
+
+@settings(max_examples=30, deadline=None)
+@given(cluster_and_failures(), st.integers(min_value=0, max_value=2**16))
+def test_beyond_parity_failures_raise_typed_error(setup, extra_seed):
+    """Killing a whole stripe (> n-k of its blocks) raises DataUnavailable."""
+    topology, cluster, _failed, seed = setup
+    params = cluster.block_map.params
+    # Fail enough of stripe 0's nodes that < k survive.
+    stripe_nodes = [
+        stored.node_id for stored in cluster.block_map.stripe_blocks(0)
+    ]
+    doomed = frozenset(stripe_nodes[: params.parity + 1])
+    planner = RepairPlanner(cluster.block_map, topology)
+    with pytest.raises(DataUnavailableError) as excinfo:
+        planner.plan(doomed, RngStreams(extra_seed))
+    assert excinfo.value.stripe_id is not None

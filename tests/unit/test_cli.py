@@ -146,3 +146,92 @@ class TestObservabilityExports:
         target = blocker / "sub" / "events.jsonl"  # parent is a regular file
         assert main(_SMALL + ["--events", str(target)]) == 2
         assert "cannot write" in capsys.readouterr().err
+
+
+class TestRepairAndExitCodes:
+    """The documented exit-code contract: 0 ok / 1 job failed / 2 bad usage."""
+
+    def test_repair_flags_accepted_and_reported(self, capsys):
+        code = main(
+            _SMALL
+            + [
+                "--failure", "single-node",
+                "--repair-bandwidth-mbps", "500",
+                "--repair-concurrent", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repairs:" in out
+        assert "reclassified" in out
+
+    def test_data_unavailable_exits_1(self, capsys, tmp_path):
+        # (3,2) tolerates one failure; two overlapping ones doom a stripe.
+        trace = tmp_path / "double.json"
+        trace.write_text(
+            '{"events": [{"kind": "fail", "at": 20.0, "node": 0},'
+            ' {"kind": "fail", "at": 26.0, "node": 2}]}'
+        )
+        code = main(
+            [
+                "simulate",
+                "--nodes", "6", "--racks", "3", "--code", "3,2",
+                "--blocks", "48", "--seed", "3",
+                "--heartbeat-expiry", "9",
+                "--failure-trace", str(trace),
+            ]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "job failed" in captured.err
+        # The partial result's summary still printed.
+        assert "runtime:" in captured.out
+
+    def test_wait_for_repair_completes_after_recovery(self, capsys, tmp_path):
+        trace = tmp_path / "double_recover.json"
+        trace.write_text(
+            '{"events": [{"kind": "fail", "at": 20.0, "node": 0},'
+            ' {"kind": "fail", "at": 26.0, "node": 2},'
+            ' {"kind": "recover", "at": 120.0, "node": 2}]}'
+        )
+        code = main(
+            [
+                "simulate",
+                "--nodes", "6", "--racks", "3", "--code", "3,2",
+                "--blocks", "48", "--seed", "3",
+                "--heartbeat-expiry", "9",
+                "--failure-trace", str(trace),
+                "--wait-for-repair",
+            ]
+        )
+        assert code == 0
+
+    def test_corruption_trace_reported(self, capsys, tmp_path):
+        trace = tmp_path / "corrupt.json"
+        trace.write_text(
+            '{"events": [{"kind": "corrupt", "at": 1.0,'
+            ' "stripe": 2, "position": 3}]}'
+        )
+        code = main(
+            _SMALL
+            + [
+                "--failure-trace", str(trace),
+                "--repair-bandwidth-mbps", "500",
+                "--scrub-interval", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "found corrupt" in out
+
+    def test_scrub_without_repair_exits_2(self, capsys):
+        assert main(_SMALL + ["--scrub-interval", "5"]) == 2
+        assert "needs --repair-bandwidth-mbps" in capsys.readouterr().err
+
+    def test_bad_repair_options_exit_2(self, capsys):
+        code = main(
+            _SMALL
+            + ["--repair-bandwidth-mbps", "500", "--repair-concurrent", "0"]
+        )
+        assert code == 2
+        assert "bad repair options" in capsys.readouterr().err

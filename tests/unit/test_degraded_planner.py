@@ -52,6 +52,60 @@ class TestPlan:
             planner.plan(block, reader_node=7, failed_nodes=failed, rng=rng)
 
 
+class TestSourceFiltering:
+    """Regression: the planner must never select dead or unusable sources."""
+
+    def _lost_and_failed(self, cluster):
+        failed = frozenset({0})
+        lost = cluster.block_map.lost_native_blocks(failed)
+        if not lost:
+            pytest.skip("seeded placement put no natives on node 0")
+        return lost[0], failed
+
+    def test_avoid_set_excluded_from_sources(self, cluster, rng):
+        block, failed = self._lost_and_failed(cluster)
+        survivors = cluster.block_map.readable_stripe_blocks(block.stripe_id, failed)
+        avoidable = next(
+            s.node_id for s in survivors if s.block != block
+        )
+        plan = cluster.planner.plan(
+            block, reader_node=1, failed_nodes=failed, rng=rng,
+            avoid=frozenset({avoidable}),
+        )
+        assert all(source.node_id != avoidable for source in plan.sources)
+
+    def test_avoid_below_k_raises_typed_error(self, cluster, rng):
+        from repro.faults.errors import DataUnavailableError
+
+        block, failed = self._lost_and_failed(cluster)
+        survivors = {
+            s.node_id
+            for s in cluster.block_map.readable_stripe_blocks(block.stripe_id, failed)
+            if s.block != block
+        }
+        # Avoiding two of the five candidate sources leaves 3 < k=4.
+        avoid = frozenset(sorted(survivors)[:2])
+        with pytest.raises(DataUnavailableError) as excinfo:
+            cluster.planner.plan(block, 1, failed, rng, avoid=avoid)
+        assert excinfo.value.stripe_id == block.stripe_id
+
+    def test_corrupt_survivor_never_selected(self, cluster, rng):
+        block, failed = self._lost_and_failed(cluster)
+        survivors = cluster.block_map.readable_stripe_blocks(block.stripe_id, failed)
+        bad = next(s for s in survivors if s.block != block)
+        cluster.block_map.mark_corrupt(bad.block)
+        plan = cluster.planner.plan(block, 1, failed, rng)
+        assert all(source.block != bad.block for source in plan.sources)
+
+    def test_empty_avoid_matches_default_draw(self, cluster):
+        block, failed = self._lost_and_failed(cluster)
+        default = cluster.planner.plan(block, 1, failed, RngStreams(9))
+        explicit = cluster.planner.plan(
+            block, 1, failed, RngStreams(9), avoid=frozenset()
+        )
+        assert default == explicit
+
+
 class TestSelectionPolicies:
     def test_rack_local_first_prefers_reader_rack(self, rng):
         topology = ClusterTopology.from_rack_sizes([3, 3, 3])

@@ -157,12 +157,16 @@ class TestMidRunFailureBookkeeping:
         assert state.pending_reduce_tasks[0] == index
         assert shuffle.take(index) != {}  # backlog restored
 
-    def test_unrecoverable_mid_run_failure_raises(self, tracker):
+    def test_unrecoverable_mid_run_failure_marks_stripe_unavailable(self, tracker):
+        # Losing a whole stripe no longer raises at failure time: detection is
+        # deferred to read time (DataUnavailableError or parking), so the
+        # master just tracks the failures and the stripe drops below k.
         tracker.expect_jobs(1)
         tracker.submit_job(0, JobConfig(num_blocks=12, num_reduce_tasks=0))
         stripe_nodes = [
             stored.node_id for stored in tracker.hdfs.block_map.stripe_blocks(0)
         ]
-        with pytest.raises(RuntimeError):
-            for node in stripe_nodes:
-                tracker.fail_node(node)
+        for node in stripe_nodes:
+            tracker.fail_node(node)
+        assert not tracker.hdfs.block_map.is_decodable(0, tracker.failed_nodes)
+        assert 0 in tracker.hdfs.block_map.unavailable_stripes(tracker.failed_nodes)

@@ -73,6 +73,43 @@ class TestPlan:
             planner.plan(frozenset(stripe_nodes[:3]), rng)
 
 
+class TestExclusion:
+    """Regression: blacklisted nodes are never a source or destination."""
+
+    def test_excluded_node_never_source_or_destination(self, setup, rng):
+        topology, cluster, planner = setup
+        excluded = frozenset({4})
+        plan = planner.plan(frozenset({0}), rng, excluded=excluded)
+        for repair in plan.repairs:
+            assert repair.destination != 4
+            assert all(source.node_id != 4 for source in repair.sources)
+
+    def test_no_exclusion_matches_default_draw(self, setup):
+        from repro.sim.rng import RngStreams
+
+        topology, cluster, planner = setup
+        default = planner.plan(frozenset({0}), RngStreams(5))
+        explicit = planner.plan(frozenset({0}), RngStreams(5), excluded=frozenset())
+        assert default.repairs == explicit.repairs
+
+    def test_corrupt_block_rebuilt_in_place(self, setup, rng):
+        topology, cluster, planner = setup
+        stored = cluster.block_map.stripe_blocks(0)[0]
+        cluster.block_map.mark_corrupt(stored.block)
+        repair = planner.plan_block(stored.block, frozenset(), rng)
+        assert repair.destination == stored.node_id
+        assert all(source.block != stored.block for source in repair.sources)
+
+    def test_corrupt_survivor_not_a_repair_source(self, setup, rng):
+        topology, cluster, planner = setup
+        blocks = cluster.block_map.stripe_blocks(0)
+        # Block 0 is lost with its node; block 1 is corrupt on a live node.
+        lost, bad = blocks[0], blocks[1]
+        cluster.block_map.mark_corrupt(bad.block)
+        repair = planner.plan_block(lost.block, frozenset({lost.node_id}), rng)
+        assert all(source.block != bad.block for source in repair.sources)
+
+
 class TestTrafficAccounting:
     def test_bytes_per_destination(self, setup, rng):
         topology, cluster, planner = setup
