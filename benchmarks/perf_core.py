@@ -1,0 +1,170 @@
+"""Fixed workloads for the simulation-core performance suite.
+
+Three workloads probe the hot paths the core optimisation targeted:
+
+* :func:`engine_churn` -- raw event-loop throughput: processes that sleep,
+  signal events and join each other, measured as dispatched callbacks per
+  wall-second.
+* :func:`fluid_churn` -- FluidNetwork reallocation pressure: hundreds of
+  staggered multi-link flows over a two-tier rack/NIC topology, with a
+  fraction cancelled mid-flight, measured as rate reallocations per
+  wall-second.
+* :func:`fig7_single_trial` -- one end-to-end paper trial (the unit of work
+  every figure's sweep repeats thousands of times).
+
+The workloads are deterministic (fixed LCG streams, no wall-clock
+dependence inside the simulated world) so before/after timings compare the
+implementation, not the workload.  ``benchmarks/test_perf_core.py`` runs
+them, writes ``BENCH_sim.json`` and enforces the regression floor;
+``python benchmarks/perf_core.py`` prints one sample per workload.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+from repro.mapreduce.config import SimulationConfig
+from repro.mapreduce.simulation import run_simulation
+from repro.sim.engine import Simulator, Timeout
+from repro.sim.resources import FluidNetwork
+
+
+def _lcg(seed: int):
+    """A tiny deterministic integer stream (workload shaping only)."""
+    state = seed & 0x7FFFFFFF
+    while True:
+        state = (1103515245 * state + 12345) & 0x7FFFFFFF
+        yield state
+
+
+def engine_churn(num_processes: int = 300, rounds: int = 400) -> dict:
+    """Timeout/event/join churn through the engine's dispatch loop.
+
+    Each process alternates sleeping and signalling a partner event, so the
+    run exercises timeout scheduling, event waiter management and process
+    joins in roughly the mix the MapReduce simulator produces.
+    """
+    sim = Simulator()
+    gates = [sim.event(name=f"gate{i}") for i in range(num_processes)]
+
+    def worker(index: int):
+        stream = _lcg(index + 1)
+        for round_no in range(rounds):
+            yield Timeout((next(stream) % 97 + 1) * 0.001)
+            if round_no == rounds // 2:
+                gates[index].succeed(index)
+            if round_no == rounds - 1 and index + 1 < num_processes:
+                yield gates[index + 1]
+
+    for index in range(num_processes):
+        sim.spawn(worker(index), name=f"worker{index}")
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return {
+        "dispatched": sim.dispatched,
+        "seconds": elapsed,
+        "events_per_sec": sim.dispatched / elapsed,
+    }
+
+
+def fluid_churn(
+    num_racks: int = 4,
+    nodes_per_rack: int = 10,
+    num_flows: int = 800,
+    cancel_every: int = 5,
+) -> dict:
+    """Concurrent multi-link flows with mid-flight cancels.
+
+    Mirrors a degraded-read storm: most flows cross four links (source NIC,
+    source rack uplink, destination rack downlink, destination NIC), start
+    within a short window so hundreds are concurrently active, and every
+    ``cancel_every``-th flow is aborted mid-flight -- the workload the
+    paper's multi-run sweeps hammer hardest.
+    """
+    sim = Simulator()
+    network = FluidNetwork(sim)
+    capacity = 125e6  # 1 Gbps in bytes/s
+    for rack in range(num_racks):
+        network.add_link(f"rack{rack}:up", capacity)
+        network.add_link(f"rack{rack}:down", capacity)
+    num_nodes = num_racks * nodes_per_rack
+    for node in range(num_nodes):
+        network.add_link(f"node{node}:in", capacity)
+        network.add_link(f"node{node}:out", capacity)
+
+    stream = _lcg(42)
+    completions = {"done": 0, "cancelled": 0}
+
+    def launch(flow_id: int):
+        src = next(stream) % num_nodes
+        dst = (src + 1 + next(stream) % (num_nodes - 1)) % num_nodes
+        src_rack, dst_rack = src // nodes_per_rack, dst // nodes_per_rack
+        links = [f"node{src}:out"]
+        if src_rack != dst_rack:
+            links += [f"rack{src_rack}:up", f"rack{dst_rack}:down"]
+        links.append(f"node{dst}:in")
+        size = (8 + next(stream) % 56) * 1e6
+        start_delay = (next(stream) % 2000) * 0.01
+
+        def flow_process():
+            yield Timeout(start_delay)
+            done = network.transfer(links, size)
+            if flow_id % cancel_every == 0:
+                cancel_after = (next(stream) % 100 + 1) * 0.05
+
+                def canceller():
+                    yield Timeout(cancel_after)
+                    if network.cancel(done):
+                        completions["cancelled"] += 1
+
+                sim.spawn(canceller())
+            yield done
+            completions["done"] += 1
+
+        sim.spawn(flow_process())
+
+    for flow_id in range(num_flows):
+        launch(flow_id)
+    start = time.perf_counter()
+    sim.run(until=1e7)
+    elapsed = time.perf_counter() - start
+    reallocations = completions["done"] + completions["cancelled"] + num_flows
+    return {
+        "flows": num_flows,
+        "completed": completions["done"],
+        "cancelled": completions["cancelled"],
+        "dispatched": sim.dispatched,
+        "seconds": elapsed,
+        "reallocations_per_sec": reallocations / elapsed,
+    }
+
+
+def fig7_single_trial(num_blocks: int = 1440) -> dict:
+    """One end-to-end fig7-style trial (EDF, single-node failure)."""
+    config = SimulationConfig(scheduler="EDF", seed=1)
+    config = replace(
+        config, jobs=tuple(replace(job, num_blocks=num_blocks) for job in config.jobs)
+    )
+    start = time.perf_counter()
+    result = run_simulation(config)
+    elapsed = time.perf_counter() - start
+    return {
+        "num_blocks": num_blocks,
+        "simulated_runtime": result.total_runtime,
+        "seconds": elapsed,
+    }
+
+
+def main() -> None:
+    for name, fn in (
+        ("engine_churn", engine_churn),
+        ("fluid_churn", fluid_churn),
+        ("fig7_single_trial", fig7_single_trial),
+    ):
+        print(name, fn())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,4 +1,4 @@
-"""JSON (de)serialisation of simulation configurations.
+"""JSON (de)serialisation of simulation configurations and results.
 
 Lets experiment definitions live in version-controlled files:
 
@@ -11,18 +11,29 @@ Lets experiment definitions live in version-controlled files:
     }
 
 run with ``repro simulate --config experiment.json``.
+
+:func:`result_to_dict` / :func:`result_to_json` do the reverse direction
+for trial outputs: a :class:`~repro.mapreduce.metrics.SimulationResult`
+becomes a stable, canonically ordered JSON document.  Every float is kept
+at full ``repr`` precision (NaN encoded as the string ``"NaN"`` so the
+document stays strict JSON), which makes the output suitable for
+golden-equivalence testing: two trials are bit-identical iff their
+serialized results compare equal.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import enum
 import json
+import math
 from typing import Any
 
 from repro.cluster.failures import FailurePattern
 from repro.ec.codec import CodeParams
 from repro.faults.schedule import FailureSchedule
 from repro.mapreduce.config import JobConfig, SimulationConfig
+from repro.mapreduce.metrics import SimulationResult
 from repro.storage.degraded import SourceSelection
 from repro.storage.repair_driver import RepairConfig
 
@@ -95,3 +106,39 @@ def load_config(path: str) -> SimulationConfig:
     """Load a configuration from a JSON file."""
     with open(path) as handle:
         return config_from_json(handle.read())
+
+
+def _jsonify(value: Any) -> Any:
+    """Recursively convert a value tree into strict-JSON primitives.
+
+    Enums become their values, frozensets become sorted lists, mapping keys
+    become strings, and NaN floats become the string ``"NaN"`` (strict JSON
+    has no NaN literal, and ``NaN != NaN`` would defeat equality checks).
+    """
+    if isinstance(value, enum.Enum):
+        return _jsonify(value.value)
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"
+    if isinstance(value, dict):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonify(item) for item in value)
+    return value
+
+
+def result_to_dict(result: SimulationResult) -> dict[str, Any]:
+    """Turn a :class:`SimulationResult` into JSON-serialisable primitives.
+
+    The conversion is lossless for everything the simulator computes
+    deterministically, so equal dictionaries imply bit-identical trials.
+    """
+    return _jsonify(dataclasses.asdict(result))
+
+
+def result_to_json(result: SimulationResult, indent: int | None = 2) -> str:
+    """Serialise a result to canonical JSON (sorted keys, full precision)."""
+    return json.dumps(
+        result_to_dict(result), indent=indent, sort_keys=True, allow_nan=False
+    )

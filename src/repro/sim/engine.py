@@ -7,6 +7,15 @@ fires).  The engine maintains a single event heap keyed by
 ``(time, sequence)`` so that simultaneous events run in schedule order,
 making every run bit-for-bit reproducible.
 
+Heap entries are plain tuples ``(time, seq, kind, target, payload, epoch)``
+dispatched inline by :meth:`Simulator.run` -- no closure object is
+allocated per scheduled step, which is the engine's dominant cost in large
+sweeps.  ``kind`` is ``"send"``/``"throw"`` for process resumes (``target``
+is the process, ``epoch`` guards against stale wake-ups) or ``"call"`` for
+plain callbacks scheduled via :meth:`Simulator.call_at`.  The sequence
+number is unique, so tuple comparison never reaches the non-orderable
+fields.
+
 Example
 -------
 >>> sim = Simulator()
@@ -58,7 +67,9 @@ class Event:
         self._fired = False
         self._value: Any = None
         self._error: BaseException | None = None
-        self._waiters: list[Process] = []
+        # Insertion-ordered waiter set: wake order matches append order (as
+        # a list would give) while discarding a waiter stays O(1).
+        self._waiters: dict[Process, None] = {}
         self.name = name
 
     @property
@@ -79,7 +90,7 @@ class Event:
             raise SimulationError(f"event {self.name!r} fired twice")
         self._fired = True
         self._value = value
-        waiters, self._waiters = self._waiters, []
+        waiters, self._waiters = self._waiters, {}
         for process in waiters:
             self._sim._schedule_resume(process, value)
 
@@ -89,7 +100,7 @@ class Event:
             raise SimulationError(f"event {self.name!r} fired twice")
         self._fired = True
         self._error = error
-        waiters, self._waiters = self._waiters, []
+        waiters, self._waiters = self._waiters, {}
         for process in waiters:
             self._sim._schedule_throw(process, error)
 
@@ -100,11 +111,10 @@ class Event:
             else:
                 self._sim._schedule_resume(process, self._value)
         else:
-            self._waiters.append(process)
+            self._waiters[process] = None
 
     def _discard_waiter(self, process: "Process") -> None:
-        if process in self._waiters:
-            self._waiters.remove(process)
+        self._waiters.pop(process, None)
 
 
 class Timeout:
@@ -214,11 +224,18 @@ class Process:
 
 
 class Simulator:
-    """The event loop: a heap of timestamped callbacks and a virtual clock."""
+    """The event loop: a heap of timestamped tuple entries and a virtual clock.
+
+    Each heap entry is ``(time, seq, kind, target, payload, epoch)``;
+    :meth:`run` dispatches entries inline instead of calling per-entry
+    closures (see the module docstring).
+    """
+
+    __slots__ = ("_now", "_heap", "_sequence", "dispatched")
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._heap: list[tuple[float, int, str, Any, Any, int]] = []
         self._sequence = 0
         #: Callbacks dispatched so far -- the engine's always-on profiling
         #: counter (an int increment per event; feeds events/sec reporting).
@@ -259,15 +276,29 @@ class Simulator:
 
     def run(self, until: float | None = None) -> None:
         """Run until the heap drains or virtual time reaches ``until``."""
-        while self._heap:
-            time, _, fn = self._heap[0]
-            if until is not None and time > until:
-                self._now = until
-                return
-            heapq.heappop(self._heap)
-            self._now = time
-            self.dispatched += 1
-            fn()
+        heap = self._heap
+        pop = heapq.heappop
+        count = 0
+        try:
+            while heap:
+                time = heap[0][0]
+                if until is not None and time > until:
+                    self._now = until
+                    return
+                _, _, kind, target, payload, epoch = pop(heap)
+                self._now = time
+                count += 1
+                if kind == "call":
+                    target()
+                elif target._epoch == epoch:
+                    # A stale wake-up (the process ran since this entry was
+                    # armed, e.g. a timeout outrun by an interrupt) is
+                    # dropped without resuming the process a second time.
+                    target._step(kind, payload)
+        finally:
+            # Batched so the hot loop touches one local instead of an
+            # attribute per event; exceptions still leave the count right.
+            self.dispatched += count
         if until is not None and until > self._now:
             self._now = until
 
@@ -281,25 +312,21 @@ class Simulator:
 
     def _push(self, time: float, fn: Callable[[], None]) -> None:
         self._sequence += 1
-        heapq.heappush(self._heap, (time, self._sequence, fn))
+        heapq.heappush(self._heap, (time, self._sequence, "call", fn, None, 0))
 
     def _schedule_resume(self, process: Process, value: Any, delay: float = 0.0) -> None:
-        epoch = process._epoch
-
-        def resume() -> None:
-            if process._epoch == epoch:
-                process._step("send", value)
-
-        self._push(self._now + delay, resume)
+        self._sequence += 1
+        heapq.heappush(
+            self._heap,
+            (self._now + delay, self._sequence, "send", process, value, process._epoch),
+        )
 
     def _schedule_throw(self, process: Process, error: BaseException) -> None:
-        epoch = process._epoch
-
-        def throw() -> None:
-            if process._epoch == epoch:
-                process._step("throw", error)
-
-        self._push(self._now, throw)
+        self._sequence += 1
+        heapq.heappush(
+            self._heap,
+            (self._now, self._sequence, "throw", process, error, process._epoch),
+        )
 
     def _add_callback(self, event: Event, fn: Callable[[Any], None]) -> None:
         """Attach a plain callback to an event (fires immediately if fired)."""
@@ -310,8 +337,9 @@ class Simulator:
             return
 
         class _CallbackShim:
-            """Quacks like a Process for Event's waiter list."""
+            """Quacks like a Process for Event's waiter set."""
 
+            __slots__ = ()
             _epoch = 0  # callbacks are one-shot; no staleness to track
             finished = event  # only `.fired` is consulted, never re-fired
 
@@ -320,4 +348,4 @@ class Simulator:
                     raise payload
                 fn(payload)
 
-        event._waiters.append(_CallbackShim())  # type: ignore[arg-type]
+        event._waiters[_CallbackShim()] = None  # type: ignore[index]

@@ -8,6 +8,13 @@ Three resource kinds cover everything the MapReduce simulator needs:
   fairly, recomputed whenever a flow starts or finishes.  This captures the
   paper's observation that two degraded reads entering one rack halve each
   other's throughput ("doubles the download time, from 10s to 20s").
+  The progressive-filling recompute runs over a persistent link->flows
+  index (only occupied links are visited), flows are kept in a
+  done-event->flow map so ``cancel`` is O(1), and the next completion is
+  tracked with a lazily invalidated ETA heap -- see DESIGN.md section 10.
+  The original all-pairs implementation is retained as
+  :meth:`FluidNetwork._recompute_rates_reference`, the oracle for the
+  property suite's allocation-equivalence tests.
 * :class:`ExclusivePathNetwork` -- the literal CSIM "hold the communication
   link for a duration" semantics: a transfer occupies every link on its path
   exclusively; contending transfers queue.  Provided for the network-model
@@ -23,6 +30,8 @@ one.
 
 from __future__ import annotations
 
+import heapq
+from collections import deque
 from dataclasses import dataclass
 
 from repro.sim.engine import Event, Simulator
@@ -32,8 +41,11 @@ class Semaphore:
     """Counting semaphore with FIFO granting.
 
     ``acquire`` returns an :class:`Event` that fires when a unit is granted;
-    ``release`` returns one unit and wakes the queue head.
+    ``release`` returns one unit and wakes the queue head (``deque``-backed,
+    so granting is O(1) however deep the queue gets).
     """
+
+    __slots__ = ("_sim", "capacity", "available", "name", "_queue", "observer")
 
     def __init__(self, sim: Simulator, capacity: int, name: str = "") -> None:
         if capacity < 0:
@@ -42,7 +54,7 @@ class Semaphore:
         self.capacity = capacity
         self.available = capacity
         self.name = name
-        self._queue: list[Event] = []
+        self._queue: deque[Event] = deque()
         #: Optional slot observer: ``slot_changed(now, name, in_use, capacity,
         #: queued)`` called synchronously on every occupancy/queue change.
         self.observer = None
@@ -71,7 +83,7 @@ class Semaphore:
     def release(self) -> None:
         """Return one unit; grants the oldest waiter if any."""
         if self._queue:
-            self._queue.pop(0).succeed()
+            self._queue.popleft().succeed()
         else:
             if self.available >= self.capacity:
                 raise ValueError(f"semaphore {self.name!r} released above capacity")
@@ -94,9 +106,14 @@ class Semaphore:
         return len(self._queue)
 
 
-@dataclass
+@dataclass(eq=False, slots=True)
 class _Flow:
-    """One active fluid transfer."""
+    """One active fluid transfer.
+
+    ``eq=False`` keeps identity hashing so flows can key the link index.
+    ``eta_epoch`` versions the flow's (rate, remaining) basis: an ETA-heap
+    entry is valid only while the epoch it captured is still current.
+    """
 
     links: tuple[str, ...]
     remaining: float
@@ -104,6 +121,7 @@ class _Flow:
     size: float = 0.0
     rate: float = 0.0
     started_at: float = 0.0
+    eta_epoch: int = 0
 
     @property
     def finished(self) -> bool:
@@ -121,14 +139,54 @@ class FluidNetwork:
 
     Each flow crosses one or more links; at any instant the flow rates are
     the max-min fair allocation given each link's capacity.  Rates are
-    recomputed whenever a flow starts or finishes, and the next completion
-    is scheduled from the updated rates.
+    recomputed whenever a flow starts, finishes or is cancelled, and the
+    next completion is scheduled from the updated rates.
+
+    Hot-path structure (behaviour-identical to the original all-pairs
+    implementation, enforced by golden and property tests):
+
+    * ``_flows`` maps each flow's completion event to the flow, so
+      :meth:`cancel` and membership checks are O(1);
+    * ``_link_flows`` is a persistent link -> ordered-flow-set index holding
+      only *occupied* links, so progressive filling visits occupied links
+      with O(1) per-link flow counts instead of rescanning every link
+      against every flow;
+    * ``_eta_heap`` tracks candidate completion times ``(abs_eta, seq, flow,
+      epoch)``; entries are lazily invalidated by epoch bumps when a flow's
+      rate changes or the flow ends, and the whole heap is rebuilt only when
+      virtual time advanced (every ``remaining`` then shifted).  Within one
+      instant -- the common burst case -- unchanged flows keep their
+      entries.
     """
+
+    __slots__ = (
+        "_sim",
+        "_capacities",
+        "_link_order",
+        "_flows",
+        "_link_flows",
+        "_eta_heap",
+        "_eta_seq",
+        "_eta_dirty",
+        "_last_update",
+        "_pending_completion",
+        "observer",
+    )
 
     def __init__(self, sim: Simulator) -> None:
         self._sim = sim
         self._capacities: dict[str, float] = {}
-        self._flows: list[_Flow] = []
+        #: Link -> registration index; progressive filling must consider
+        #: links in registration order so bottleneck ties break exactly as
+        #: the reference implementation's dict scan did.
+        self._link_order: dict[str, int] = {}
+        #: Completion event -> flow, in start order.
+        self._flows: dict[Event, _Flow] = {}
+        #: Occupied link -> insertion-ordered set (dict) of crossing flows.
+        self._link_flows: dict[str, dict[_Flow, None]] = {}
+        self._eta_heap: list[tuple[float, int, _Flow, int]] = []
+        self._eta_seq = 0
+        self._eta_dirty = False
         self._last_update = 0.0
         self._pending_completion: dict | None = None
         #: Optional network observer: ``flow_started`` / ``flow_finished`` /
@@ -141,6 +199,7 @@ class FluidNetwork:
             raise ValueError(f"link {name!r} capacity must be positive, got {capacity}")
         if name in self._capacities:
             raise ValueError(f"duplicate link {name!r}")
+        self._link_order[name] = len(self._capacities)
         self._capacities[name] = capacity
 
     def has_link(self, name: str) -> bool:
@@ -168,7 +227,14 @@ class FluidNetwork:
         self._advance()
         flow = _Flow(links=tuple(links), remaining=float(size), done=done,
                      size=float(size), started_at=self._sim.now)
-        self._flows.append(flow)
+        self._flows[done] = flow
+        link_flows = self._link_flows
+        for link in flow.links:
+            bucket = link_flows.get(link)
+            if bucket is None:
+                link_flows[link] = {flow: None}
+            else:
+                bucket[flow] = None
         if self.observer is not None:
             self.observer.flow_started(self._sim.now, flow.links, flow.size)
         self._reschedule()
@@ -178,7 +244,8 @@ class FluidNetwork:
         """Number of active flows, optionally restricted to one link."""
         if link is None:
             return len(self._flows)
-        return sum(1 for flow in self._flows if link in flow.links)
+        bucket = self._link_flows.get(link)
+        return 0 if bucket is None else len(bucket)
 
     def cancel(self, done: Event) -> bool:
         """Abort the in-flight flow whose completion event is ``done``.
@@ -188,13 +255,11 @@ class FluidNetwork:
         Used when a transfer's source node dies mid-flight: the connection
         breaks immediately and the bandwidth is redistributed to survivors.
         """
-        for flow in self._flows:
-            if flow.done is done:
-                break
-        else:
+        flow = self._flows.get(done)
+        if flow is None:
             return False
         self._advance()
-        self._flows.remove(flow)
+        self._remove_flow(flow)
         if self.observer is not None and hasattr(self.observer, "flow_cancelled"):
             self.observer.flow_cancelled(
                 self._sim.now,
@@ -207,20 +272,93 @@ class FluidNetwork:
 
     # -- internals ----------------------------------------------------------
 
+    def _remove_flow(self, flow: _Flow) -> None:
+        """Drop a flow from the event map and link index; void its ETAs."""
+        del self._flows[flow.done]
+        link_flows = self._link_flows
+        for link in flow.links:
+            bucket = link_flows[link]
+            del bucket[flow]
+            if not bucket:
+                del link_flows[link]
+        flow.eta_epoch += 1
+
     def _advance(self) -> None:
         """Debit progress accrued since the last rate change."""
         elapsed = self._sim.now - self._last_update
         if elapsed > 0:
-            for flow in self._flows:
+            for flow in self._flows.values():
                 flow.remaining = max(0.0, flow.remaining - flow.rate * elapsed)
+            # Every remaining value moved, so every cached ETA basis is void.
+            self._eta_dirty = True
         self._last_update = self._sim.now
 
-    def _recompute_rates(self) -> None:
-        """Progressive-filling max-min fair allocation."""
-        unfrozen = list(self._flows)
+    def _recompute_rates(self) -> list[_Flow]:
+        """Progressive-filling max-min fair allocation over the link index.
+
+        Visits only occupied links, with per-link flow counts maintained
+        incrementally per round.  Returns the flows whose rate changed.
+        Bit-identical to :meth:`_recompute_rates_reference`: links are
+        considered in registration order so bottleneck ties break the same
+        way, and within a round every frozen flow debits the same share, so
+        the residual arithmetic is order-independent.
+        """
+        changed: list[_Flow] = []
+        link_flows = self._link_flows
+        if not link_flows:
+            return changed
+        occupied = sorted(link_flows, key=self._link_order.__getitem__)
+        capacities = self._capacities
+        residual = {link: capacities[link] for link in occupied}
+        unfrozen_count = {link: len(link_flows[link]) for link in occupied}
+        frozen: set[_Flow] = set()
+        remaining_flows = len(self._flows)
+        while remaining_flows:
+            best_share = None
+            bottleneck = None
+            for link in occupied:
+                count = unfrozen_count[link]
+                if count == 0 or link not in residual:
+                    continue
+                share = residual[link] / count
+                if best_share is None or share < best_share:
+                    best_share = share
+                    bottleneck = link
+            if best_share is None:
+                break
+            for flow in link_flows[bottleneck]:
+                if flow in frozen:
+                    continue
+                frozen.add(flow)
+                remaining_flows -= 1
+                if flow.rate != best_share:
+                    flow.rate = best_share
+                    changed.append(flow)
+                for link in flow.links:
+                    residual[link] = max(0.0, residual[link] - best_share)
+                    unfrozen_count[link] -= 1
+            del residual[bottleneck]
+        if remaining_flows:
+            # Unreachable with positive capacities (every unfrozen flow
+            # keeps a live link); mirrors the reference's rate zeroing.
+            for flow in self._flows.values():
+                if flow not in frozen and flow.rate != 0.0:
+                    flow.rate = 0.0
+                    changed.append(flow)
+        return changed
+
+    def _recompute_rates_reference(self) -> dict[Event, float]:
+        """The original all-pairs progressive-filling implementation.
+
+        Scans every registered link against every unfrozen flow per round.
+        Kept (non-mutating: rates are returned keyed by completion event,
+        ``flow.rate`` is untouched) as the oracle for the property tests
+        asserting the indexed implementation allocates identically.
+        """
+        flows = list(self._flows.values())
+        rates = {flow.done: 0.0 for flow in flows}
+        unfrozen = flows
         residual = dict(self._capacities)
-        for flow in self._flows:
-            flow.rate = 0.0
         while unfrozen:
             # Bottleneck link: smallest fair share among links carrying flows.
             best_share = None
@@ -236,43 +374,77 @@ class FluidNetwork:
                 break
             frozen = [flow for flow in unfrozen if bottleneck in flow.links]
             for flow in frozen:
-                flow.rate = best_share
+                rates[flow.done] = best_share
                 for link in flow.links:
                     residual[link] = max(0.0, residual[link] - best_share)
             del residual[bottleneck]
             unfrozen = [flow for flow in unfrozen if bottleneck not in flow.links]
+        return rates
+
+    def _refresh_eta_heap(self, changed: list[_Flow]) -> None:
+        """Bring the ETA heap in line with the rates just computed.
+
+        If virtual time advanced since the heap's entries were pushed, every
+        basis is stale: rebuild from scratch (one heapify, no epoch churn).
+        Otherwise -- a same-instant burst of starts/cancels -- only flows
+        whose rate changed need fresh entries; everyone else's cached
+        absolute ETA is still exact.
+        """
+        now = self._sim.now
+        seq = self._eta_seq
+        if self._eta_dirty:
+            self._eta_dirty = False
+            entries = []
+            for flow in self._flows.values():
+                if flow.rate > 0:
+                    seq += 1
+                    entries.append(
+                        (now + flow.remaining / flow.rate, seq, flow, flow.eta_epoch)
+                    )
+            heapq.heapify(entries)
+            self._eta_heap = entries
+        else:
+            heap = self._eta_heap
+            for flow in changed:
+                flow.eta_epoch += 1
+                if flow.rate > 0:
+                    seq += 1
+                    heapq.heappush(
+                        heap,
+                        (now + flow.remaining / flow.rate, seq, flow, flow.eta_epoch),
+                    )
+        self._eta_seq = seq
 
     def _reschedule(self) -> None:
         """Recompute rates and arm the next completion callback."""
-        self._recompute_rates()
+        changed = self._recompute_rates()
         if self.observer is not None:
             link_rates: dict[str, float] = {}
-            for flow in self._flows:
+            for flow in self._flows.values():
                 for link in flow.links:
                     link_rates[link] = link_rates.get(link, 0.0) + flow.rate
             self.observer.rates_updated(self._sim.now, link_rates)
         if self._pending_completion is not None:
             self._pending_completion["cancelled"] = True
             self._pending_completion = None
-        soonest: float | None = None
-        for flow in self._flows:
-            if flow.rate <= 0:
-                continue
-            eta = flow.remaining / flow.rate
-            if soonest is None or eta < soonest:
-                soonest = eta
-        if soonest is None:
+        self._refresh_eta_heap(changed)
+        heap = self._eta_heap
+        while heap and heap[0][3] != heap[0][2].eta_epoch:
+            heapq.heappop(heap)
+        if not heap:
             return
         handle = {"cancelled": False}
         self._pending_completion = handle
+        eta = heap[0][0]
 
         def fire() -> None:
             if handle["cancelled"]:
                 return
             self._pending_completion = None
             self._advance()
-            finished = [flow for flow in self._flows if flow.finished]
-            self._flows = [flow for flow in self._flows if not flow.finished]
+            finished = [flow for flow in self._flows.values() if flow.finished]
+            for flow in finished:
+                self._remove_flow(flow)
             for flow in finished:
                 if self.observer is not None:
                     self.observer.flow_finished(
@@ -284,7 +456,7 @@ class FluidNetwork:
                 flow.done.succeed(self._sim.now - flow.started_at)
             self._reschedule()
 
-        self._sim.call_in(soonest, fire)
+        self._sim.call_at(eta, fire)
 
 
 class ExclusivePathNetwork:
@@ -295,6 +467,8 @@ class ExclusivePathNetwork:
     free is granted (first-fit, so a blocked wide request does not starve
     narrow ones behind it — matching how CSIM facility queues behave).
     """
+
+    __slots__ = ("_sim", "_capacities", "_busy", "_queue", "_active", "observer")
 
     def __init__(self, sim: Simulator) -> None:
         self._sim = sim

@@ -1,0 +1,34 @@
+"""Regenerate the golden trajectory files.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src:. python tests/golden/regenerate.py
+
+Only run this after an *intentional* semantic change to the simulator --
+the point of the goldens is that performance work never moves a trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", ".."))
+
+from tests.integration.test_golden_equivalence import capture, golden_cases  # noqa: E402
+
+
+def main() -> None:
+    out_dir = os.path.dirname(os.path.abspath(__file__))
+    for name, config in sorted(golden_cases().items()):
+        payload = capture(config)
+        path = os.path.join(out_dir, f"{name}.json")
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True, allow_nan=False)
+            handle.write("\n")
+        print(f"wrote {path} (dispatched={payload['dispatched']})")
+
+
+if __name__ == "__main__":
+    main()

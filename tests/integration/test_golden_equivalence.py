@@ -1,0 +1,100 @@
+"""Golden-equivalence tests: the hot-path rewrite changes no trajectory.
+
+The simulation core (``sim/engine.py``, ``sim/resources.py``) is optimised
+for speed under one hard contract: *zero perturbation*.  A rewritten heap
+encoding, flow index, or completion scheduler must reproduce the original
+implementation's trajectories bit for bit.  These tests enforce the
+contract in CI instead of leaving it to review: each golden file under
+``tests/golden/`` was generated from the pre-optimisation implementation
+(see ``tests/golden/regenerate.py``) and records the full serialized
+:class:`~repro.mapreduce.metrics.SimulationResult` plus the engine's
+dispatched-event count for one fixed-seed trial.
+
+Covered trajectories: all three schedulers (LF/BDF/EDF) on a single-node
+failure, a mid-run failure (exercising in-flight flow cancellation), a
+multi-job FIFO run, and a run with the online repair driver (throttle
+links plus repair/foreground bandwidth competition).
+
+If one of these tests fails after an intentional *semantic* change to the
+simulator, regenerate the goldens with::
+
+    PYTHONPATH=src:. python tests/golden/regenerate.py
+
+and explain the trajectory change in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.mapreduce.config import JobConfig, SimulationConfig
+from repro.mapreduce.serialization import result_to_dict
+from repro.mapreduce.simulation import run_simulation
+from repro.obs import ObservabilityCollector
+from repro.storage.repair_driver import RepairConfig
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "..", "golden")
+
+
+def golden_cases() -> dict[str, SimulationConfig]:
+    """Name -> fixed-seed trial configuration for every golden file."""
+    small_job = JobConfig(num_blocks=192)
+    return {
+        "lf-single-node": SimulationConfig(
+            scheduler="LF", seed=7, jobs=(small_job,)
+        ),
+        "bdf-single-node": SimulationConfig(
+            scheduler="BDF", seed=7, jobs=(small_job,)
+        ),
+        "edf-single-node": SimulationConfig(
+            scheduler="EDF", seed=7, jobs=(small_job,)
+        ),
+        "edf-midrun-failure": SimulationConfig(
+            scheduler="EDF", seed=11, jobs=(small_job,), failure_time=25.0
+        ),
+        "edf-multi-job": SimulationConfig(
+            scheduler="EDF",
+            seed=3,
+            jobs=(
+                JobConfig(num_blocks=96),
+                JobConfig(num_blocks=96, submit_time=60.0),
+            ),
+        ),
+        "lf-online-repair": SimulationConfig(
+            scheduler="LF",
+            seed=5,
+            jobs=(small_job,),
+            repair=RepairConfig(bandwidth_cap=100e6, concurrent_repairs=2),
+        ),
+    }
+
+
+def capture(config: SimulationConfig) -> dict:
+    """Run one trial and capture its trajectory fingerprint."""
+    collector = ObservabilityCollector(keep_events=False)
+    result = run_simulation(config, observer=collector)
+    return {
+        "result": result_to_dict(result),
+        "dispatched": collector.profiler.events_dispatched,
+    }
+
+
+@pytest.mark.parametrize("name", sorted(golden_cases()))
+def test_trajectory_matches_golden(name: str) -> None:
+    path = os.path.join(GOLDEN_DIR, f"{name}.json")
+    assert os.path.exists(path), (
+        f"golden file {path} missing -- run tests/golden/regenerate.py"
+    )
+    with open(path) as handle:
+        golden = json.load(handle)
+    actual = capture(golden_cases()[name])
+    # Round-trip through JSON so float formatting is identical on both sides.
+    actual = json.loads(json.dumps(actual, allow_nan=False))
+    assert actual["dispatched"] == golden["dispatched"], (
+        f"{name}: engine dispatched {actual['dispatched']} events, "
+        f"golden recorded {golden['dispatched']} -- the event schedule moved"
+    )
+    assert actual["result"] == golden["result"]
