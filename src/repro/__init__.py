@@ -41,6 +41,9 @@ __all__ = [
     "FailureSchedule",
     "JobConfig",
     "JobFailedError",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "InvariantViolationError",
     "RecoverEvent",
     "RepairConfig",
     "SimulationConfig",
@@ -49,11 +52,21 @@ __all__ = [
     "__version__",
 ]
 
+#: Names resolved on first touch to keep ``import repro`` light.
+_LAZY = {
+    "run_simulation": ("repro.mapreduce.simulation", "run_simulation"),
+    "InvariantMonitor": ("repro.check", "InvariantMonitor"),
+    "InvariantViolation": ("repro.check", "InvariantViolation"),
+    "InvariantViolationError": ("repro.check", "InvariantViolationError"),
+}
+
 
 def __getattr__(name: str):
-    """Lazily expose :func:`repro.mapreduce.simulation.run_simulation`."""
-    if name == "run_simulation":
-        from repro.mapreduce.simulation import run_simulation
+    """Lazily expose the simulation entry point and the sanitizer types."""
+    try:
+        module_name, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
 
-        return run_simulation
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(importlib.import_module(module_name), attribute)

@@ -1,0 +1,50 @@
+"""Runtime sanitizer: invariant checking and scenario fuzzing.
+
+``repro.check`` is the simulator's validation layer.  The
+:class:`InvariantMonitor` is a zero-perturbation observer (like
+:class:`~repro.obs.ObservabilityCollector`, which it wraps) that watches a
+trial through the event bus and the slot/network observer protocols and
+records an :class:`InvariantViolation` whenever the simulation breaks one
+of its own rules -- slot accounting, link-capacity feasibility, the task
+lifecycle state machine, BDF pacing / EDF guard postconditions, stripe
+conservation, or event-time monotonicity (see DESIGN.md section 11 for the
+full catalogue).
+
+:mod:`repro.check.fuzz` drives the monitor over randomly generated
+scenarios (``repro fuzz``), shrinks failures, and writes minimal repro
+files into ``tests/corpus/``.
+"""
+
+from repro.check.fuzz import (
+    SCHEDULERS,
+    TrialReport,
+    build_scenario,
+    load_repro,
+    run_checked_trial,
+    run_fuzz,
+    save_repro,
+    scenario_strategy,
+    shrink_scenario,
+)
+from repro.check.invariants import (
+    InvariantMonitor,
+    InvariantViolation,
+    InvariantViolationError,
+    render_report,
+)
+
+__all__ = [
+    "SCHEDULERS",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "InvariantViolationError",
+    "TrialReport",
+    "build_scenario",
+    "load_repro",
+    "render_report",
+    "save_repro",
+    "run_checked_trial",
+    "run_fuzz",
+    "scenario_strategy",
+    "shrink_scenario",
+]

@@ -9,6 +9,13 @@ Commands
 ``repro simulate [options]``
     Run a single simulation trial with explicit parameters and print its
     summary -- handy for quick what-if exploration.
+``repro fuzz --trials N [options]``
+    Generate random scenarios and run every scheduler over them under the
+    invariant sanitizer (see :mod:`repro.check`); failures are shrunk and
+    saved as repro files.
+
+``repro run --check`` / ``repro simulate --check`` run their trials under
+the sanitizer too: any invariant violation prints a report and exits 3.
 
 Exit codes
 ----------
@@ -21,6 +28,8 @@ Exit codes
 ``2``
     Bad invocation: unparsable flags, a malformed ``--code``/config file,
     or an unwritable output path.
+``3``
+    The sanitizer found an invariant violation (``--check`` / ``fuzz``).
 
 Environment knobs: ``REPRO_SEEDS`` (samples per configuration, default 30),
 ``REPRO_WORKERS`` (process-pool width), ``REPRO_TESTBED_RUNS`` (testbed
@@ -51,8 +60,49 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run = commands.add_parser("run", help="run experiments by name")
     run.add_argument("experiments", nargs="+", help="e.g. fig3 fig5 fig7 fig8 fig9 table1")
+    run.add_argument(
+        "--check",
+        action="store_true",
+        help="run every trial under the invariant sanitizer; a violation "
+        "prints a report and exits 3",
+    )
+
+    fuzz = commands.add_parser(
+        "fuzz", help="fuzz random scenarios under the invariant sanitizer"
+    )
+    fuzz.add_argument(
+        "--trials", type=int, default=25, help="scenarios to generate (default 25)"
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="scenario-stream seed")
+    fuzz.add_argument(
+        "--corpus",
+        dest="corpus_dir",
+        metavar="DIR",
+        default=None,
+        help="save shrunken failing scenarios as repro JSON into this "
+        "directory (e.g. tests/corpus)",
+    )
+    fuzz.add_argument(
+        "--report",
+        dest="report_path",
+        metavar="FILE",
+        default=None,
+        help="also write the full fuzz summary (outcomes + findings) as JSON",
+    )
+    fuzz.add_argument(
+        "--max-dispatch",
+        type=int,
+        default=None,
+        help="abort a trial as runaway after this many dispatched events",
+    )
 
     simulate = commands.add_parser("simulate", help="run one simulation trial")
+    simulate.add_argument(
+        "--check",
+        action="store_true",
+        help="run the trial under the invariant sanitizer; a violation "
+        "prints a report and exits 3",
+    )
     simulate.add_argument(
         "--config",
         dest="config_path",
@@ -176,13 +226,40 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(names: list[str]) -> int:
+def _cmd_run(names: list[str], check: bool = False) -> int:
+    import contextlib
+    import os
+
     from repro.experiments.registry import get_experiment
 
-    for name in names:
-        runner = get_experiment(name)
-        print(runner())
-        print()
+    if check:
+        from repro.check import InvariantViolationError
+
+        # Experiments fan trials out over a process pool; the environment
+        # variable is how check mode reaches the worker processes.
+        env = {"REPRO_CHECK": "1"}
+        catch: type[BaseException] = InvariantViolationError
+    else:
+        env = {}
+        catch = ()  # type: ignore[assignment]
+    previous = {name: os.environ.get(name) for name in env}
+    os.environ.update(env)
+    try:
+        for name in names:
+            runner = get_experiment(name)
+            try:
+                print(runner())
+            except catch as error:
+                print(error.report(), file=sys.stderr)
+                print(f"experiment {name!r} violated an invariant", file=sys.stderr)
+                return 3
+            print()
+    finally:
+        for name, value in previous.items():
+            with contextlib.suppress(KeyError):
+                del os.environ[name]
+            if value is not None:
+                os.environ[name] = value
     return 0
 
 
@@ -254,9 +331,26 @@ def _report_simulation(args: argparse.Namespace, config) -> int:
         from repro.obs import ObservabilityCollector
 
         observer = ObservabilityCollector()
+    if args.check:
+        from repro.check import InvariantMonitor
+
+        # The monitor wraps any requested collector, so --check composes
+        # with the export flags; exports keep reading the inner collector.
+        monitor = InvariantMonitor(collector=observer)
+        observer = observer if observer is not None else monitor.collector
+    else:
+        monitor = None
+    from repro.check import InvariantViolationError
+
     failure: JobFailedError | None = None
     try:
-        result = run_simulation(config, observer=observer)
+        result = run_simulation(
+            config, observer=monitor if monitor is not None else observer
+        )
+    except InvariantViolationError as error:
+        print(error.report(), file=sys.stderr)
+        print("sanitizer: the trial violated simulator invariants", file=sys.stderr)
+        return 3
     except JobFailedError as error:
         if error.result is None:
             print(f"job failed: {error}", file=sys.stderr)
@@ -306,6 +400,48 @@ def _report_simulation(args: argparse.Namespace, config) -> int:
     if failure is not None:
         print(f"job failed: {failure}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.check import run_fuzz
+    from repro.check.fuzz import DEFAULT_MAX_DISPATCH
+
+    if args.trials <= 0:
+        print(f"--trials must be positive, got {args.trials}", file=sys.stderr)
+        return 2
+
+    def progress(trial: int, report) -> None:
+        print(f"trial {trial:4d} {report.scheduler:>3}: {report.status}")
+
+    summary = run_fuzz(
+        args.trials,
+        seed=args.seed,
+        corpus_dir=args.corpus_dir,
+        max_dispatch=(
+            args.max_dispatch if args.max_dispatch is not None else DEFAULT_MAX_DISPATCH
+        ),
+        progress=progress,
+    )
+    outcomes = " ".join(
+        f"{status}={count}" for status, count in sorted(summary["outcomes"].items())
+    )
+    print(f"fuzzed {summary['trials']} scenario(s) (seed {summary['seed']}): {outcomes}")
+    if args.report_path and not _write_output(
+        args.report_path, json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    ):
+        return 2
+    if summary["findings"]:
+        for finding in summary["findings"]:
+            where = finding.get("path", "(not saved; pass --corpus)")
+            print(
+                f"finding [{finding['invariant']}] scheduler={finding['scheduler']}: "
+                f"{finding['message']}\n  repro: {where}",
+                file=sys.stderr,
+            )
+        return 3
     return 0
 
 
@@ -375,7 +511,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiments)
+        return _cmd_run(args.experiments, check=args.check)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
     raise AssertionError(f"unhandled command {args.command}")

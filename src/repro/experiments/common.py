@@ -25,13 +25,31 @@ from repro.mapreduce.simulation import run_simulation
 DEFAULT_NUM_SEEDS = 30
 
 
+def _env_int(name: str, default: int) -> int:
+    """Read an integer environment override, failing with a usable message.
+
+    A malformed value (``REPRO_SEEDS=lots``) raises a :class:`ValueError`
+    naming the variable and the offending text instead of the bare
+    ``int()`` traceback it used to.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"environment variable {name} must be an integer, got {raw!r}"
+        ) from None
+
+
 def default_seeds() -> list[int]:
     """Seed list honouring the ``REPRO_SEEDS`` environment override.
 
     Set ``REPRO_SEEDS=5`` to run quick 5-sample experiments (useful in CI);
     unset, the paper's 30 samples are used.
     """
-    count = int(os.environ.get("REPRO_SEEDS", DEFAULT_NUM_SEEDS))
+    count = _env_int("REPRO_SEEDS", DEFAULT_NUM_SEEDS)
     if count <= 0:
         raise ValueError(f"REPRO_SEEDS must be positive, got {count}")
     return list(range(count))
@@ -43,9 +61,8 @@ def max_workers() -> int:
     Defaults to every core: simulation trials are single-threaded and
     independent, and experiment batches are trivially parallel.
     """
-    configured = os.environ.get("REPRO_WORKERS")
-    if configured is not None:
-        return max(1, int(configured))
+    if os.environ.get("REPRO_WORKERS") is not None:
+        return max(1, _env_int("REPRO_WORKERS", 1))
     return max(1, os.cpu_count() or 1)
 
 

@@ -259,6 +259,17 @@ class JobTracker:
         except KeyError:
             raise KeyError(f"job {job_id} is not active") from None
 
+    def active_job(self, job_id: int) -> JobTaskState | None:
+        """Like :meth:`job_state`, but ``None`` once the job has retired.
+
+        Task processes use this to notice that their job was aborted
+        between assignment and their first step: :meth:`_fail_job`'s
+        interrupt loses that race (the engine drops a throw once the
+        pending spawn resume has run), so the attempt must discover the
+        abort itself.
+        """
+        return self._jobs_by_id.get(job_id)
+
     # -- attempt registry --------------------------------------------------------
 
     def note_attempt_started(

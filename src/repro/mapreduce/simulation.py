@@ -18,6 +18,7 @@ trial produces a bit-identical :class:`SimulationResult`.
 from __future__ import annotations
 
 import contextlib
+import os
 
 from repro.cluster.failures import FailureInjector
 from repro.cluster.nodetree import NodeTree
@@ -61,13 +62,36 @@ def expected_degraded_read_time(config: SimulationConfig) -> float:
     return (R - 1) * k * config.block_size / (R * config.rack_bandwidth)
 
 
-def run_simulation(config: SimulationConfig, observer=None) -> SimulationResult:
+def run_simulation(
+    config: SimulationConfig, observer=None, check: bool | None = None
+) -> SimulationResult:
     """Run one trial and return its metrics.
 
     The trial is fully determined by ``config`` (including ``config.seed``);
     ``observer`` (an :class:`~repro.obs.ObservabilityCollector`) is optional
     and never perturbs the result.
+
+    With ``check=True`` (or ``REPRO_CHECK`` set non-empty in the
+    environment, which is how check mode reaches process-pool workers) the
+    trial runs under a :class:`~repro.check.InvariantMonitor`; a violated
+    invariant raises :class:`~repro.check.InvariantViolationError` carrying
+    the result and the violation report.  The monitor is as passive as a
+    plain collector, so a checked trial is bit-identical to an unchecked
+    one.  Passing an :class:`InvariantMonitor` as ``observer`` implies
+    ``check=True``.
     """
+    # Imported lazily: repro.check imports this module for its fuzz driver.
+    from repro.check.invariants import InvariantMonitor
+
+    if check is None:
+        check = os.environ.get("REPRO_CHECK", "") not in ("", "0")
+    if isinstance(observer, InvariantMonitor):
+        monitor = observer
+    elif check:
+        monitor = InvariantMonitor(collector=observer)
+        observer = monitor
+    else:
+        monitor = None
     bus = observer.bus if observer is not None else None
     setup_span = (
         observer.profiler.span("setup")
@@ -98,6 +122,8 @@ def run_simulation(config: SimulationConfig, observer=None) -> SimulationResult:
         },
         faults=tracker.faults,
     )
+    if monitor is not None:
+        monitor.raise_if_violations(result)
     if not tracker.finished:
         if tracker.parked_tasks > 0:
             raise DataUnavailableError(
@@ -245,5 +271,14 @@ def _build_trial(
         runtime.spawn_slave(node_id)
 
     sim.spawn(failure_detector_process(runtime), name="failure-detector")
+
+    # Sanitizers need trial internals the bus does not carry (block map,
+    # failure views, slot capacities, the engine's dispatch stream); plain
+    # collectors define no such hook.
+    on_trial_built = getattr(observer, "on_trial_built", None)
+    if on_trial_built is not None:
+        on_trial_built(
+            sim=sim, tracker=tracker, runtime=runtime, hdfs=hdfs, config=config
+        )
 
     return sim, tracker, runtime

@@ -352,7 +352,14 @@ def map_task_process(runtime: SlaveRuntime, assignment: MapAssignment) -> Genera
 def _map_task_body(runtime: SlaveRuntime, assignment: MapAssignment) -> Generator:
     sim = runtime.sim
     config = runtime.config
-    job = runtime.tracker.job_state(assignment.job_id)
+    job = runtime.tracker.active_job(assignment.job_id)
+    if job is None:
+        # The job was aborted after this attempt was assigned but before
+        # its first step ran; the master's "job-aborted" interrupt lost
+        # that race.  Behave as the delivered interrupt would: free the
+        # slot and drop the work.
+        runtime.map_slots[assignment.slave_id].release()
+        return
     record = TaskRecord(
         job_id=assignment.job_id,
         kind=TaskKind.MAP,
@@ -611,7 +618,12 @@ def reduce_task_process(runtime: SlaveRuntime, assignment: ReduceAssignment) -> 
 
 def _reduce_task_body(runtime: SlaveRuntime, assignment: ReduceAssignment) -> Generator:
     sim = runtime.sim
-    job = runtime.tracker.job_state(assignment.job_id)
+    job = runtime.tracker.active_job(assignment.job_id)
+    if job is None:
+        # Same race as in _map_task_body: the job died before this
+        # attempt's first step and the abort interrupt was dropped.
+        runtime.reduce_slots[assignment.slave_id].release()
+        return
     shuffle = runtime.tracker.shuffles[assignment.job_id]
     record = TaskRecord(
         job_id=assignment.job_id,

@@ -231,7 +231,7 @@ class Simulator:
     closures (see the module docstring).
     """
 
-    __slots__ = ("_now", "_heap", "_sequence", "dispatched")
+    __slots__ = ("_now", "_heap", "_sequence", "dispatched", "monitor")
 
     def __init__(self) -> None:
         self._now = 0.0
@@ -240,6 +240,11 @@ class Simulator:
         #: Callbacks dispatched so far -- the engine's always-on profiling
         #: counter (an int increment per event; feeds events/sec reporting).
         self.dispatched = 0
+        #: Optional sanitizer (see :mod:`repro.check`); when set, its
+        #: ``on_dispatch(time)`` sees every dispatched heap entry.  The hook
+        #: observes only -- it must never schedule or mutate state -- except
+        #: that it may raise to abort a runaway trial.
+        self.monitor = None
 
     @property
     def now(self) -> float:
@@ -278,6 +283,7 @@ class Simulator:
         """Run until the heap drains or virtual time reaches ``until``."""
         heap = self._heap
         pop = heapq.heappop
+        monitor = self.monitor
         count = 0
         try:
             while heap:
@@ -288,6 +294,8 @@ class Simulator:
                 _, _, kind, target, payload, epoch = pop(heap)
                 self._now = time
                 count += 1
+                if monitor is not None:
+                    monitor.on_dispatch(time)
                 if kind == "call":
                     target()
                 elif target._epoch == epoch:

@@ -270,12 +270,28 @@ class RepairDriver:
         attempts = 0
         while True:
             attempts += 1
+            # Concurrent workers may be rebuilding other blocks of this
+            # stripe right now; their planned destinations are not in the
+            # BlockMap yet, so thread them through explicitly or two
+            # rebuilds can land same-stripe units on one node (the batch
+            # planner's distinct-node fix, applied to the online driver).
+            in_flight_nodes = {
+                entry["destination"]
+                for other, entry in self._in_flight.items()
+                if other.stripe_id == block.stripe_id
+            }
+            in_flight_racks: dict[int, int] = {}
+            for node_id in in_flight_nodes:
+                rack = self.nodetree.topology.rack_of(node_id)
+                in_flight_racks[rack] = in_flight_racks.get(rack, 0) + 1
             try:
                 repair = self.planner.plan_block(
                     block,
                     tracker.failed_nodes,
                     self.rng,
                     excluded=frozenset(tracker.blacklisted),
+                    extra_rack_counts=in_flight_racks or None,
+                    extra_stripe_nodes=in_flight_nodes or None,
                 )
             except DataUnavailableError:
                 # Raced with another failure: defer until availability changes.

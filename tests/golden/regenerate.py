@@ -6,6 +6,10 @@ Usage (from the repository root)::
 
 Only run this after an *intentional* semantic change to the simulator --
 the point of the goldens is that performance work never moves a trajectory.
+
+Set ``GOLDEN_OUT=<dir>`` to write somewhere other than ``tests/golden/``;
+CI's golden-freshness check uses this to regenerate into a scratch tree
+and diff it against the committed files.
 """
 
 from __future__ import annotations
@@ -20,7 +24,8 @@ from tests.integration.test_golden_equivalence import capture, golden_cases  # n
 
 
 def main() -> None:
-    out_dir = os.path.dirname(os.path.abspath(__file__))
+    out_dir = os.environ.get("GOLDEN_OUT") or os.path.dirname(os.path.abspath(__file__))
+    os.makedirs(out_dir, exist_ok=True)
     for name, config in sorted(golden_cases().items()):
         payload = capture(config)
         path = os.path.join(out_dir, f"{name}.json")

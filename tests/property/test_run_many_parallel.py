@@ -1,0 +1,53 @@
+"""``run_many`` must be bit-identical serial vs process-pool parallel.
+
+The experiment harness farms trials out to a ``ProcessPoolExecutor`` when
+``REPRO_WORKERS`` allows; a trial's trajectory must not depend on which
+path ran it (worker processes re-seed from the config, never from global
+state).  Serialized through :func:`result_to_json`, the two runs must be
+byte-equal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.network import MB
+from repro.ec.codec import CodeParams
+from repro.experiments.common import run_many
+from repro.mapreduce.config import JobConfig, SimulationConfig
+from repro.mapreduce.serialization import result_to_json
+
+
+def grid(seeds, scheduler="EDF") -> list[SimulationConfig]:
+    return [
+        SimulationConfig(
+            scheduler=scheduler,
+            num_nodes=6,
+            num_racks=2,
+            map_slots=2,
+            code=CodeParams(4, 2),
+            block_size=16 * MB,
+            jobs=(JobConfig(num_blocks=24, num_reduce_tasks=2),),
+            seed=seed,
+        )
+        for seed in seeds
+    ]
+
+
+@pytest.mark.parametrize("scheduler", ["LF", "BDF", "EDF"])
+def test_serial_and_parallel_runs_are_bit_identical(monkeypatch, scheduler):
+    configs = grid([0, 1, 2, 3], scheduler)  # >2 configs so the pool engages
+
+    monkeypatch.setenv("REPRO_WORKERS", "1")
+    serial = [result_to_json(result) for result in run_many(configs)]
+
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    parallel = [result_to_json(result) for result in run_many(configs)]
+
+    assert serial == parallel
+
+
+def test_parallel_respects_config_order(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    results = run_many(grid([5, 6, 7]))
+    assert [result.seed for result in results] == [5, 6, 7]

@@ -235,3 +235,90 @@ class TestRepairAndExitCodes:
         )
         assert code == 2
         assert "bad repair options" in capsys.readouterr().err
+
+
+class TestCheckMode:
+    """``--check`` and the sanitizer's exit code 3."""
+
+    def test_simulate_check_clean_run_exits_0(self, capsys):
+        assert main(_SMALL + ["--check"]) == 0
+        assert "runtime:" in capsys.readouterr().out
+
+    def test_simulate_check_composes_with_exports(self, capsys, tmp_path):
+        target = tmp_path / "events.jsonl"
+        code = main(_SMALL + ["--check", "--events", str(target)])
+        assert code == 0
+        assert target.exists()
+
+    # 48 blocks keep the degraded backlog long enough that pacing actually
+    # forbids a launch, which the forced break then takes anyway.
+    _BDF_BROKEN = [
+        "simulate",
+        "--nodes", "6", "--racks", "2", "--code", "4,2",
+        "--blocks", "48", "--seed", "2", "--scheduler", "BDF",
+    ]
+
+    def test_simulate_check_violation_exits_3(self, capsys, monkeypatch):
+        from repro.core import degraded_first
+
+        monkeypatch.setattr(degraded_first, "_FORCE_PACING_BREAK", True)
+        code = main(self._BDF_BROKEN + ["--check"])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "bdf-pacing" in err
+        assert "sanitizer" in err
+
+    def test_violation_without_check_goes_unnoticed(self, capsys, monkeypatch):
+        # The mutation only trips the sanitizer; an unchecked run completes.
+        from repro.core import degraded_first
+
+        monkeypatch.setattr(degraded_first, "_FORCE_PACING_BREAK", True)
+        assert main(self._BDF_BROKEN) == 0
+
+
+class TestFuzz:
+    def test_clean_fuzz_exits_0(self, capsys, tmp_path):
+        corpus = tmp_path / "corpus"
+        code = main(
+            ["fuzz", "--trials", "2", "--seed", "0", "--corpus", str(corpus)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fuzzed 2 scenario(s) (seed 0)" in out
+        assert not list(corpus.glob("*.json")) if corpus.exists() else True
+
+    def test_fuzz_report_export(self, capsys, tmp_path):
+        import json
+
+        report = tmp_path / "fuzz.json"
+        code = main(["fuzz", "--trials", "1", "--report", str(report)])
+        assert code == 0
+        payload = json.loads(report.read_text())
+        assert payload["trials"] == 1
+        assert "outcomes" in payload and "findings" in payload
+
+    def test_fuzz_finding_exits_3_and_saves_repro(self, capsys, tmp_path, monkeypatch):
+        from repro.core import degraded_first
+
+        monkeypatch.setattr(degraded_first, "_FORCE_PACING_BREAK", True)
+        corpus = tmp_path / "corpus"
+        code = main(
+            ["fuzz", "--trials", "6", "--seed", "0", "--corpus", str(corpus)]
+        )
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "bdf-pacing" in err
+        saved = list(corpus.glob("repro-*.json"))
+        assert saved, "findings must be saved into the corpus directory"
+        assert any("bdf-pacing" in path.name for path in saved)
+
+    def test_bad_trials_exits_2(self, capsys):
+        assert main(["fuzz", "--trials", "0"]) == 2
+        assert "--trials" in capsys.readouterr().err
+
+    def test_unwritable_report_exits_2(self, capsys, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("")
+        target = blocker / "sub" / "fuzz.json"
+        assert main(["fuzz", "--trials", "1", "--report", str(target)]) == 2
+        assert "cannot write" in capsys.readouterr().err

@@ -49,6 +49,16 @@ class TestEnvKnobs:
         monkeypatch.setenv("REPRO_WORKERS", "0")
         assert max_workers() == 1
 
+    def test_malformed_seeds_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEEDS", "thirty")
+        with pytest.raises(ValueError, match="REPRO_SEEDS.*'thirty'"):
+            default_seeds()
+
+    def test_malformed_workers_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2.5")
+        with pytest.raises(ValueError, match="REPRO_WORKERS.*'2.5'"):
+            max_workers()
+
 
 class TestRunFailureAndNormal:
     def test_grouping(self):
