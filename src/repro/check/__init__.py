@@ -15,6 +15,10 @@ scenarios (``repro fuzz``), shrinks failures, and writes minimal repro
 files into ``tests/corpus/``.
 """
 
+from repro.check.generators import (
+    check_arrivals_determinism,
+    check_generator_determinism,
+)
 from repro.check.fuzz import (
     SCHEDULERS,
     TrialReport,
@@ -40,6 +44,8 @@ __all__ = [
     "InvariantViolationError",
     "TrialReport",
     "build_scenario",
+    "check_arrivals_determinism",
+    "check_generator_determinism",
     "load_repro",
     "render_report",
     "save_repro",

@@ -1,9 +1,11 @@
 """Scenario fuzzing: random trials under the sanitizer, with shrinking.
 
 The fuzzer generates small random scenarios -- topology, erasure code,
-heterogeneity, workload, and a scripted
-:class:`~repro.faults.schedule.FailureSchedule` of fail/recover/slowdown/
-corrupt churn -- runs each under every scheduler with an
+heterogeneity, workload (scripted bursts or realized open-loop Poisson
+arrivals), and a :class:`~repro.faults.schedule.FailureSchedule` of
+fail/recover/slowdown/corrupt churn, either hand-scripted or realized from
+a stochastic failure model (:mod:`repro.faults.models`) at fuzz-scale
+rates -- runs each under every scheduler with an
 :class:`~repro.check.invariants.InvariantMonitor` attached, and treats any
 invariant violation (or unexpected crash) as a finding.  Findings are
 *shrunk* -- schedule events dropped, features disabled, the workload halved
@@ -167,6 +169,22 @@ def build_scenario(chooser) -> SimulationConfig:
             )
         )
 
+    if chooser.random() < 0.3:
+        # Open-loop axis: realize a Poisson arrival stream over the scripted
+        # job templates.  The realized jobs land in the config directly, so
+        # shrinking (which halves and drops jobs) works unchanged.
+        from repro.mapreduce.workload import PoissonArrivals
+        from repro.sim.rng import RngStreams
+
+        arrived = PoissonArrivals(
+            mean_interarrival=chooser.uniform(10.0, 60.0),
+            templates=tuple(jobs),
+        ).generate(
+            RngStreams(chooser.randint(0, 2**31)), chooser.uniform(30.0, 120.0)
+        )
+        if arrived:  # an empty draw degenerates to the scripted burst
+            jobs = list(arrived[:4])
+
     repair = None
     if chooser.random() < 0.4:
         from repro.storage.repair_driver import RepairConfig
@@ -180,12 +198,28 @@ def build_scenario(chooser) -> SimulationConfig:
             ),
         )
 
-    schedule, all_recover, any_corrupt = _build_schedule(
-        chooser,
-        num_nodes=num_nodes,
-        num_stripes=-(-max(job.num_blocks for job in jobs) // k),
-        n=code.n,
-    )
+    num_stripes = -(-max(job.num_blocks for job in jobs) // k)
+    blacklist_threshold = 3  # the SimulationConfig default
+    if chooser.random() < 0.35:
+        # Stochastic axis: realize a failure *model* into the scripted
+        # schedule.  Model-generated churn re-fails recovered nodes, which
+        # blacklisting would interact with pathologically (a node dying a
+        # third time while blacklisted wedges repair), so it is disabled.
+        schedule, all_recover, any_corrupt = _stochastic_schedule(
+            chooser,
+            num_racks=num_racks,
+            per_rack=per_rack,
+            num_stripes=num_stripes,
+            n=code.n,
+        )
+        blacklist_threshold = None
+    else:
+        schedule, all_recover, any_corrupt = _build_schedule(
+            chooser,
+            num_nodes=num_nodes,
+            num_stripes=num_stripes,
+            n=code.n,
+        )
 
     # Parking on lost data is only safe when the script guarantees the data
     # comes back; otherwise prefer the typed fail-fast refusal.
@@ -209,6 +243,7 @@ def build_scenario(chooser) -> SimulationConfig:
         speculative=chooser.random() < 0.3,
         repair=repair,
         wait_for_repair=wait_for_repair,
+        blacklist_threshold=blacklist_threshold,
         seed=chooser.randint(0, 2**31),
     )
 
@@ -263,6 +298,66 @@ def _build_schedule(chooser, *, num_nodes: int, num_stripes: int, n: int):
 
     all_recover = recovered == len(victims)
     return FailureSchedule(tuple(events)), all_recover, num_corrupts > 0
+
+
+def _stochastic_schedule(chooser, *, num_racks: int, per_rack: int, num_stripes: int, n: int):
+    """Realize a stochastic failure model into one scenario's schedule.
+
+    The chooser picks a model family (exponential / Weibull / correlated
+    bursts / lifetimes + latent sector errors) and fuzz-scale rate
+    parameters -- horizons of minutes, not months, so churn actually lands
+    inside the trial.  The *realized* event stream is what goes into the
+    config: shrinking drops events one at a time and corpus replay stays a
+    plain scripted schedule, exactly as for hand-built churn.
+    """
+    from repro.cluster.topology import ClusterTopology
+    from repro.faults import models
+    from repro.sim.rng import RngStreams
+
+    topology = ClusterTopology.from_rack_sizes([per_rack] * num_racks)
+    horizon = chooser.uniform(60.0, 200.0)
+    mttf = chooser.uniform(40.0, 300.0)
+    mttr = chooser.uniform(20.0, 120.0)
+    family = chooser.choice(["exponential", "weibull", "bursts", "lse-composite"])
+    if family == "weibull":
+        model = models.WeibullLifetimes(
+            mttf=mttf, shape=chooser.uniform(0.5, 1.5), mttr=mttr
+        )
+    elif family == "bursts":
+        model = models.CorrelatedBursts(
+            mtbe=chooser.uniform(30.0, 120.0),
+            burst_size_mean=chooser.uniform(1.0, 3.0),
+            rack_bias=chooser.uniform(0.0, 1.0),
+            mttr=mttr,
+            spread=chooser.uniform(5.0, 20.0),
+        )
+    elif family == "lse-composite":
+        model = models.CompositeModel(
+            models=(
+                models.ExponentialLifetimes(mttf=mttf, mttr=mttr),
+                models.LatentSectorErrors(
+                    num_stripes=num_stripes,
+                    stripe_width=n,
+                    block_mtbc=num_stripes * n * chooser.uniform(30.0, 150.0),
+                ),
+            )
+        )
+    else:
+        model = models.ExponentialLifetimes(mttf=mttf, mttr=mttr)
+    schedule = model.generate(
+        topology, RngStreams(chooser.randint(0, 2**31)), horizon
+    )
+    failed: set[int] = set()
+    recovered_nodes: set[int] = set()
+    any_corrupt = False
+    for event in schedule.events:
+        if isinstance(event, FailEvent):
+            failed.update(schedule.fail_targets(event, topology))
+        elif isinstance(event, RecoverEvent):
+            recovered_nodes.add(event.node)
+        elif isinstance(event, CorruptEvent):
+            any_corrupt = True
+    return schedule, failed <= recovered_nodes, any_corrupt
 
 
 def scenario_strategy():

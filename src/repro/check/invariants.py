@@ -35,6 +35,11 @@ call -- and checks, continuously, that the simulation obeys its own rules:
     (otherwise the correct outcome is progress, not a typed
     :class:`~repro.faults.errors.DataUnavailableError`); and a finished
     repair never leaves two units of one stripe on the same node.
+``backlog-boundedness``
+    The repair driver's published backlog depth is internally consistent
+    (``depth == queued + in_flight``), never negative, and never exceeds
+    the number of stored blocks -- the repair queue holds at most one entry
+    per block, so anything larger means double-queued work.
 ``event-monotonicity``
     Dispatched heap entries and emitted bus events never move backwards in
     virtual time.
@@ -768,6 +773,35 @@ class InvariantMonitor:
                 block=str(block),
             )
 
+    def _on_repair_backlog(self, event: ObsEvent) -> None:
+        fields = event.fields
+        depth = fields.get("depth")
+        if depth is None:
+            return
+        queued, in_flight = fields.get("queued"), fields.get("in_flight")
+        if depth < 0:
+            self._record(
+                event.time,
+                "backlog-boundedness",
+                f"repair backlog depth {depth} is negative",
+            )
+        if queued is not None and in_flight is not None and depth != queued + in_flight:
+            self._record(
+                event.time,
+                "backlog-boundedness",
+                f"repair backlog depth {depth} != queued {queued}"
+                f" + in-flight {in_flight}",
+            )
+        if self._block_map is not None:
+            total = self._block_map.num_stripes * self._block_map.params.n
+            if depth > total:
+                self._record(
+                    event.time,
+                    "backlog-boundedness",
+                    f"repair backlog depth {depth} exceeds the {total} stored"
+                    " blocks -- a block is queued more than once",
+                )
+
     def _on_block_corrupt(self, event: ObsEvent) -> None:
         block = self._stripe_of(event.fields)
         if block is None:
@@ -806,6 +840,7 @@ _HANDLERS = {
     "degraded.park": InvariantMonitor._on_degraded_park,
     "repair.start": InvariantMonitor._on_repair_start,
     "repair.end": InvariantMonitor._on_repair_end,
+    "repair.backlog": InvariantMonitor._on_repair_backlog,
     "block.corrupt": InvariantMonitor._on_block_corrupt,
     "heartbeat": InvariantMonitor._on_heartbeat,
 }

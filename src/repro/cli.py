@@ -13,6 +13,11 @@ Commands
     Generate random scenarios and run every scheduler over them under the
     invariant sanitizer (see :mod:`repro.check`); failures are shrunk and
     saved as repro files.
+``repro reliability [options]``
+    Run a long-horizon reliability campaign: a stochastic failure model plus
+    open-loop Poisson traffic, reporting MTTDL/durability, degraded-read
+    latency percentiles, repair-backlog dynamics, and a per-policy
+    saturation verdict (see :mod:`repro.experiments.reliability`).
 
 ``repro run --check`` / ``repro simulate --check`` run their trials under
 the sanitizer too: any invariant violation prints a report and exits 3.
@@ -94,6 +99,91 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="abort a trial as runaway after this many dispatched events",
+    )
+
+    reliability = commands.add_parser(
+        "reliability",
+        help="run a long-horizon reliability campaign (MTTDL, latency tails)",
+    )
+    reliability.add_argument(
+        "--model",
+        default="exponential",
+        choices=["exponential", "weibull", "bursts"],
+        help="node-lifetime failure model (default exponential)",
+    )
+    reliability.add_argument(
+        "--mttf-days",
+        type=float,
+        default=30.0,
+        help="mean node time-to-failure in days (default 30)",
+    )
+    reliability.add_argument(
+        "--mttr-hours",
+        type=float,
+        default=2.0,
+        help="mean node repair time in hours (default 2)",
+    )
+    reliability.add_argument(
+        "--weibull-shape",
+        type=float,
+        default=0.7,
+        help="Weibull lifetime shape (default 0.7: infant mortality)",
+    )
+    reliability.add_argument(
+        "--lse-mtbc-years",
+        type=float,
+        default=None,
+        help="overlay latent sector errors with this per-block mean "
+        "time-between-corruptions in years (off when omitted)",
+    )
+    reliability.add_argument(
+        "--horizon-years",
+        type=float,
+        default=1.0,
+        help="simulated time per iteration in years (default 1)",
+    )
+    reliability.add_argument(
+        "--iterations",
+        type=int,
+        default=3,
+        help="independently seeded availability iterations (default 3)",
+    )
+    reliability.add_argument(
+        "--windows",
+        type=int,
+        default=3,
+        help="full-fidelity MapReduce windows per campaign (default 3)",
+    )
+    reliability.add_argument(
+        "--window-duration",
+        type=float,
+        default=1800.0,
+        help="seconds of each full-fidelity window (default 1800)",
+    )
+    reliability.add_argument(
+        "--arrival-mean",
+        type=float,
+        default=300.0,
+        help="mean seconds between open-loop job arrivals (default 300)",
+    )
+    reliability.add_argument(
+        "--blocks",
+        type=int,
+        default=60,
+        help="input blocks per arriving job (default 60)",
+    )
+    reliability.add_argument("--seed", type=int, default=0)
+    reliability.add_argument(
+        "--check",
+        action="store_true",
+        help="assert generator determinism and run every window trial under "
+        "the invariant sanitizer; a violation prints a report and exits 3",
+    )
+    reliability.add_argument(
+        "--json",
+        dest="json_path",
+        metavar="FILE",
+        help="also write the full campaign report as canonical JSON",
     )
 
     simulate = commands.add_parser("simulate", help="run one simulation trial")
@@ -260,6 +350,78 @@ def _cmd_run(names: list[str], check: bool = False) -> int:
                 del os.environ[name]
             if value is not None:
                 os.environ[name] = value
+    return 0
+
+
+def _cmd_reliability(args: argparse.Namespace) -> int:
+    from repro.check import InvariantViolationError
+    from repro.experiments.reliability import (
+        CampaignConfig,
+        render_report,
+        report_to_json,
+        run_campaign,
+    )
+    from repro.faults.models import (
+        DAY,
+        HOUR,
+        YEAR,
+        CompositeModel,
+        CorrelatedBursts,
+        ExponentialLifetimes,
+        LatentSectorErrors,
+        WeibullLifetimes,
+    )
+    from repro.mapreduce.config import JobConfig, SimulationConfig
+    from repro.mapreduce.workload import PoissonArrivals
+
+    base = SimulationConfig()
+    try:
+        mttf, mttr = args.mttf_days * DAY, args.mttr_hours * HOUR
+        if args.model == "weibull":
+            model = WeibullLifetimes(mttf=mttf, shape=args.weibull_shape, mttr=mttr)
+        elif args.model == "bursts":
+            model = CorrelatedBursts(mtbe=mttf, mttr=mttr)
+        else:
+            model = ExponentialLifetimes(mttf=mttf, mttr=mttr)
+        if args.lse_mtbc_years is not None:
+            num_stripes = -(-args.blocks // base.code.k)
+            model = CompositeModel(
+                models=(
+                    model,
+                    LatentSectorErrors(
+                        num_stripes=num_stripes,
+                        stripe_width=base.code.n,
+                        block_mtbc=args.lse_mtbc_years * YEAR,
+                    ),
+                )
+            )
+        config = CampaignConfig(
+            model=model,
+            arrivals=PoissonArrivals(
+                mean_interarrival=args.arrival_mean,
+                templates=(JobConfig(num_blocks=args.blocks, num_reduce_tasks=8),),
+            ),
+            horizon=args.horizon_years * YEAR,
+            iterations=args.iterations,
+            num_windows=args.windows,
+            window_duration=args.window_duration,
+            base=base,
+            seed=args.seed,
+        )
+    except ValueError as error:
+        print(f"bad campaign options: {error}", file=sys.stderr)
+        return 2
+    try:
+        report = run_campaign(config, check=args.check)
+    except InvariantViolationError as error:
+        print(error.report(), file=sys.stderr)
+        print("sanitizer: the campaign violated simulator invariants", file=sys.stderr)
+        return 3
+    print(render_report(report))
+    if args.json_path and not _write_output(args.json_path, report_to_json(report)):
+        return 2
+    if args.json_path:
+        print(f"campaign report written to {args.json_path}")
     return 0
 
 
@@ -514,6 +676,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args.experiments, check=args.check)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
+    if args.command == "reliability":
+        return _cmd_reliability(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
     raise AssertionError(f"unhandled command {args.command}")

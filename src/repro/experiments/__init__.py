@@ -8,6 +8,8 @@ its rows:
 * :mod:`repro.experiments.fig8_bdf_edf` -- Figure 8 (BDF vs EDF).
 * :mod:`repro.experiments.fig9_testbed` -- Figure 9 (functional testbed).
 * :mod:`repro.experiments.table1_breakdown` -- Table I (task breakdown).
+* :mod:`repro.experiments.reliability` -- long-horizon reliability
+  campaigns (MTTDL, degraded-read latency tails, saturation verdicts).
 * :mod:`repro.experiments.registry` -- name -> runner mapping for the CLI.
 * :mod:`repro.experiments.common` -- shared trial plumbing.
 """
@@ -16,13 +18,25 @@ from repro.experiments.common import (
     ExperimentTable,
     normalized_runtimes,
     run_failure_and_normal,
+    run_many,
 )
 from repro.experiments.registry import get_experiment, list_experiments
+from repro.experiments.reliability import (
+    CampaignConfig,
+    render_report,
+    report_to_json,
+    run_campaign,
+)
 
 __all__ = [
+    "CampaignConfig",
     "ExperimentTable",
     "get_experiment",
     "list_experiments",
     "normalized_runtimes",
+    "render_report",
+    "report_to_json",
+    "run_campaign",
     "run_failure_and_normal",
+    "run_many",
 ]

@@ -66,12 +66,20 @@ def max_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
-def run_many(configs: list[SimulationConfig]) -> list[SimulationResult]:
-    """Run many independent trials, in parallel when it pays off."""
+def run_many(
+    configs: list[SimulationConfig], runner=run_simulation
+) -> list[SimulationResult]:
+    """Run many independent trials, in parallel when it pays off.
+
+    ``runner`` must be a module-level callable (the process pool pickles
+    it); campaigns pass a wrapper that converts typed refusals into data
+    instead of letting one doomed trial abort the whole batch.  Serial and
+    parallel execution produce identical result lists.
+    """
     if len(configs) <= 2 or max_workers() == 1:
-        return [run_simulation(config) for config in configs]
+        return [runner(config) for config in configs]
     with ProcessPoolExecutor(max_workers=max_workers()) as pool:
-        return list(pool.map(run_simulation, configs, chunksize=1))
+        return list(pool.map(runner, configs, chunksize=1))
 
 
 def run_failure_and_normal(

@@ -121,7 +121,7 @@ def multi_job_config(base: SimulationConfig, seed: int) -> SimulationConfig:
     jobs = []
     for index in range(FIG7F_NUM_JOBS):
         jobs.append(replace(template, submit_time=submit))
-        submit += rng.exponential(f"arrival:{index}", FIG7F_MEAN_INTERARRIVAL)
+        submit += rng.spawn("arrival").exponential(str(index), FIG7F_MEAN_INTERARRIVAL)
     return replace(base, jobs=tuple(jobs), seed=seed)
 
 

@@ -45,6 +45,12 @@ def _table1() -> str:
     return main()
 
 
+def _reliability() -> str:
+    from repro.experiments.reliability import main
+
+    return main()
+
+
 _EXPERIMENTS: dict[str, Callable[[], str]] = {
     "fig3": _fig3,
     "fig5": _fig5,
@@ -52,6 +58,7 @@ _EXPERIMENTS: dict[str, Callable[[], str]] = {
     "fig8": _fig8,
     "fig9": _fig9,
     "table1": _table1,
+    "reliability": _reliability,
 }
 
 

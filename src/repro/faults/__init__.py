@@ -8,6 +8,9 @@ fail *during* jobs, recover, and limp.  The pieces here close that gap:
   :class:`FailEvent` / :class:`RecoverEvent` / :class:`SlowdownEvent` /
   :class:`CorruptEvent` entries, buildable programmatically or from a JSON
   trace;
+* :mod:`repro.faults.models` -- stochastic generators of such timelines
+  (exponential/Weibull lifetimes, correlated bursts, latent sector errors,
+  trace replay) for long-horizon reliability campaigns;
 * :mod:`repro.faults.driver` -- the simulator processes that replay a
   schedule against a running cluster and detect dead trackers from
   heartbeat expiry (the master is *not* told about failures omnisciently);
@@ -21,6 +24,18 @@ fail *during* jobs, recover, and limp.  The pieces here close that gap:
 """
 
 from repro.faults.errors import DataUnavailableError, JobFailedError
+from repro.faults.models import (
+    CompositeModel,
+    CorrelatedBursts,
+    ExponentialLifetimes,
+    FailureModel,
+    LatentSectorErrors,
+    TraceReplay,
+    WeibullLifetimes,
+    check_alternation,
+    model_from_dict,
+    slice_window,
+)
 from repro.faults.records import (
     BlacklistRecord,
     CorruptionRecord,
@@ -40,17 +55,27 @@ from repro.faults.schedule import (
 
 __all__ = [
     "BlacklistRecord",
+    "CompositeModel",
+    "CorrelatedBursts",
     "CorruptEvent",
     "CorruptionRecord",
     "DataUnavailableError",
     "DetectionRecord",
+    "ExponentialLifetimes",
     "FailEvent",
+    "FailureModel",
     "FailureSchedule",
     "FaultTimeline",
     "JobFailedError",
+    "LatentSectorErrors",
     "RecoverEvent",
     "RecoveryRecord",
     "RepairRecord",
     "SlowdownEvent",
     "SlowdownRecord",
+    "TraceReplay",
+    "WeibullLifetimes",
+    "check_alternation",
+    "model_from_dict",
+    "slice_window",
 ]

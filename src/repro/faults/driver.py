@@ -44,7 +44,12 @@ def install_schedule(
     as its initial ``failed_nodes`` (see
     :meth:`FailureSchedule.initial_failures`).
     """
-    schedule.validate(topology)
+    block_map = runtime.tracker.hdfs.block_map
+    schedule.validate(
+        topology,
+        num_stripes=block_map.num_stripes,
+        stripe_width=block_map.params.n,
+    )
     sim = runtime.sim
     for event in schedule.deferred_events():
         if isinstance(event, FailEvent):
@@ -74,13 +79,8 @@ def install_schedule(
                 lambda event=event: runtime.end_slowdown(event.node, event.factor),
             )
         elif isinstance(event, CorruptEvent):
-            block_map = runtime.tracker.hdfs.block_map
+            # Coordinates were range-checked by validate() above.
             params = block_map.params
-            if event.stripe >= block_map.num_stripes or event.position >= params.n:
-                raise ValueError(
-                    f"corrupt event references unknown block "
-                    f"stripe={event.stripe} position={event.position}"
-                )
             block = BlockId(stripe_id=event.stripe, position=event.position, k=params.k)
             sim.call_at(event.at, lambda block=block: runtime.corrupt_block(block))
         else:  # pragma: no cover - the schedule type union is closed

@@ -190,20 +190,45 @@ class FailureSchedule:
 
     # -- queries the simulation driver makes ----------------------------------
 
-    def validate(self, topology: ClusterTopology) -> None:
-        """Raise if any event references a node or rack the cluster lacks."""
+    def validate(
+        self,
+        topology: ClusterTopology,
+        num_stripes: int | None = None,
+        stripe_width: int | None = None,
+    ) -> None:
+        """Raise if any event targets a node, rack, or block that never exists.
+
+        The topology is static for the lifetime of a trial, so a node id
+        outside it can never become valid ("recovers later" is not a thing
+        the cluster model allows) -- every event is checked, not just the
+        initial-failure set.  Error messages carry the offending event's
+        index into :attr:`events` so a bad entry in a long generated or
+        trace-loaded schedule can be found directly.
+
+        ``num_stripes`` / ``stripe_width`` optionally bound
+        :class:`CorruptEvent` block coordinates; without them corrupt events
+        are deferred to install time, when the BlockMap shape is known.
+        """
         node_ids = set(topology.node_ids())
         rack_ids = {rack.rack_id for rack in topology.racks}
-        for event in self.events:
+        for index, event in enumerate(self.events):
+            where = f"events[{index}] ({_KIND_OF[type(event)]} at t={event.at})"
             if isinstance(event, CorruptEvent):
-                continue  # block coordinates are validated against the BlockMap
-            if isinstance(event, FailEvent) and event.rack is not None:
+                if num_stripes is not None and event.stripe >= num_stripes:
+                    raise ValueError(
+                        f"{where} references unknown stripe {event.stripe} "
+                        f"(file has {num_stripes} stripes)"
+                    )
+                if stripe_width is not None and event.position >= stripe_width:
+                    raise ValueError(
+                        f"{where} references unknown block position "
+                        f"{event.position} (stripes are n={stripe_width} wide)"
+                    )
+            elif isinstance(event, FailEvent) and event.rack is not None:
                 if event.rack not in rack_ids:
-                    raise ValueError(f"schedule references unknown rack {event.rack}")
-            else:
-                node = event.node
-                if node not in node_ids:
-                    raise ValueError(f"schedule references unknown node {node}")
+                    raise ValueError(f"{where} references unknown rack {event.rack}")
+            elif event.node not in node_ids:
+                raise ValueError(f"{where} references unknown node {event.node}")
 
     def fail_targets(self, event: FailEvent, topology: ClusterTopology) -> list[int]:
         """The concrete node ids one fail event takes down."""

@@ -272,7 +272,7 @@ def slave_process(runtime: SlaveRuntime, node_id: int) -> Generator:
     tracker = runtime.tracker
     interval = runtime.config.heartbeat_interval
     if runtime.config.heartbeat_stagger:
-        offset = runtime.rng.stream(f"heartbeat:{node_id}").uniform(0.0, interval)
+        offset = runtime.rng.spawn("heartbeat").stream(str(node_id)).uniform(0.0, interval)
         yield Timeout(offset)
     while not tracker.finished:
         if node_id in tracker.failed_nodes or node_id in runtime.crash_times:
@@ -384,8 +384,8 @@ def _map_task_body(runtime: SlaveRuntime, assignment: MapAssignment) -> Generato
         yield runtime.nodetree.transfer(home, assignment.slave_id, config.block_size)
         record.download_time = sim.now - record.launch_time
 
-    processing = runtime.rng.normal(
-        f"maptime:{assignment.job_id}:{assignment.block}",
+    processing = runtime.rng.spawn("maptime").normal(
+        f"{assignment.job_id}:{assignment.block}",
         job.config.map_time_mean,
         job.config.map_time_std,
     ) / runtime.speed_of(assignment.slave_id)
@@ -652,8 +652,8 @@ def _reduce_task_body(runtime: SlaveRuntime, assignment: ReduceAssignment) -> Ge
         yield shuffle.wait(assignment.reduce_index)
     record.download_time = shuffling_time
 
-    processing = runtime.rng.normal(
-        f"reducetime:{assignment.job_id}:{assignment.reduce_index}",
+    processing = runtime.rng.spawn("reducetime").normal(
+        f"{assignment.job_id}:{assignment.reduce_index}",
         job.config.reduce_time_mean,
         job.config.reduce_time_std,
     ) / runtime.speed_of(assignment.slave_id)

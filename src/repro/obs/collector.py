@@ -60,6 +60,10 @@ class ObservabilityCollector:
             self.decisions.append(event)
             key = (event.fields.get("action", "?"), event.fields.get("reason", "?"))
             self.decision_counts[key] = self.decision_counts.get(key, 0) + 1
+        elif event.kind == "repair.backlog":
+            self.registry.time_series("repair.backlog").record(
+                event.time, event.fields.get("depth", 0)
+            )
 
     def _note_heartbeat(self, event: ObsEvent) -> None:
         node = event.fields["node"]

@@ -39,6 +39,7 @@ kind                   emitted when
 ``repair.start``       the repair driver began rebuilding one block
 ``repair.end``         a rebuilt block landed and the BlockMap was updated
 ``repair.retry``       a repair lost a source mid-flight and will re-plan
+``repair.backlog``     the repair queue depth changed (queued + in flight)
 ``flow.start``         a network flow entered the fluid/exclusive network
 ``flow.end``           a network flow completed
 ``flow.cancel``        a network flow was aborted (its source node died)

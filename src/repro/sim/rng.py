@@ -20,18 +20,46 @@ class RngStreams:
     ----------
     master_seed:
         Seed for the whole experiment run.
+    prefix:
+        Label prefix prepended to every stream name.  User code never passes
+        it directly; :meth:`spawn` builds prefixed children that share this
+        factory's caches, so ``rng.spawn("a").stream("b")`` *is*
+        ``rng.stream("a:b")``.
     """
 
-    def __init__(self, master_seed: int) -> None:
+    def __init__(self, master_seed: int, prefix: str = "") -> None:
         self.master_seed = master_seed
+        self.prefix = prefix
         self._streams: dict[str, random.Random] = {}
+        self._children: dict[str, RngStreams] = {}
 
     def stream(self, name: str) -> random.Random:
         """Return the stream for ``name``, creating it deterministically."""
-        if name not in self._streams:
-            digest = hashlib.sha256(f"{self.master_seed}:{name}".encode()).digest()
-            self._streams[name] = random.Random(int.from_bytes(digest[:8], "big"))
-        return self._streams[name]
+        full = f"{self.prefix}{name}"
+        if full not in self._streams:
+            digest = hashlib.sha256(f"{self.master_seed}:{full}".encode()).digest()
+            self._streams[full] = random.Random(int.from_bytes(digest[:8], "big"))
+        return self._streams[full]
+
+    def spawn(self, name: str) -> "RngStreams":
+        """Return a child factory whose streams live under ``name:``.
+
+        The child is a labeled namespace, not a reseeding: it shares this
+        factory's stream cache, and its streams are derived from the same
+        master seed and the ``:``-joined full name.  Components that used to
+        compose names by hand (``rng.sample(f"repair:{block}", ...)``) draw
+        byte-identical values through ``rng.spawn("repair").sample(str(block),
+        ...)``, so adopting ``spawn`` never perturbs trajectories.  Children
+        are cached: repeated ``spawn`` calls with one name return one object.
+        """
+        full = f"{self.prefix}{name}:"
+        child = self._children.get(full)
+        if child is None:
+            child = RngStreams(self.master_seed, prefix=full)
+            child._streams = self._streams
+            child._children = self._children
+            self._children[full] = child
+        return child
 
     def normal(self, name: str, mean: float, std: float, minimum: float = 1e-9) -> float:
         """Draw a normal variate from stream ``name``, floored at ``minimum``.

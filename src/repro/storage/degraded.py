@@ -109,14 +109,15 @@ class DegradedReadPlanner:
                 f"survivors, need k={k}",
                 stripe_id=lost_block.stripe_id,
             )
+        draws = rng.spawn("degraded")
         if self.selection is SourceSelection.RANDOM:
-            chosen = rng.sample(f"degraded:{lost_block}", survivors, k)
+            chosen = draws.sample(str(lost_block), survivors, k)
         elif self.selection is SourceSelection.RACK_LOCAL_FIRST:
             reader_rack = self.topology.rack_of(reader_node)
             local = [s for s in survivors if self.topology.rack_of(s.node_id) == reader_rack]
             remote = [s for s in survivors if self.topology.rack_of(s.node_id) != reader_rack]
-            rng.shuffle(f"degraded:{lost_block}", local)
-            rng.shuffle(f"degraded:{lost_block}", remote)
+            draws.shuffle(str(lost_block), local)
+            draws.shuffle(str(lost_block), remote)
             chosen = (local + remote)[:k]
         else:
             raise AssertionError(f"unhandled selection {self.selection}")

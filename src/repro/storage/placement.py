@@ -124,7 +124,7 @@ class RackConstrainedRandomPlacement(PlacementPolicy):
         chosen: list[int] = []
         rack_counts: dict[int, int] = {}
         candidates = list(self.topology.node_ids())
-        rng.shuffle(f"placement:{stripe_id}", candidates)
+        rng.spawn("placement").shuffle(str(stripe_id), candidates)
         for node_id in candidates:
             if len(chosen) == self.params.n:
                 break
@@ -197,7 +197,7 @@ class ParityDeclusteredPlacement(PlacementPolicy):
     def place_stripe(self, stripe_id: int, rng: RngStreams) -> list[int]:
         cap = self.rack_cap
         candidates = list(self.topology.node_ids())
-        rng.shuffle(f"placement:{stripe_id}", candidates)
+        rng.spawn("placement").shuffle(str(stripe_id), candidates)
         candidates.sort(key=lambda node_id: self._load[node_id])
         chosen: list[int] = []
         rack_counts: dict[int, int] = {}

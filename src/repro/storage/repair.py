@@ -222,7 +222,7 @@ class RepairPlanner:
                 load[destination] += 1
         sources = tuple(
             sorted(
-                rng.sample(f"repair:{block}", readable, k),
+                rng.spawn("repair").sample(str(block), readable, k),
                 key=lambda stored: stored.block,
             )
         )

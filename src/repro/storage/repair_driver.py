@@ -193,7 +193,22 @@ class RepairDriver:
             return
         self._queue.append(block)
         self._queued.add(block)
+        self._note_backlog()
         self._kick()
+
+    def _note_backlog(self) -> None:
+        """Publish the repair backlog depth after a stable transition.
+
+        The depth series is what reliability campaigns watch for
+        boundedness: an open-loop failure stream whose repair rate cannot
+        keep up shows up here as unbounded growth.
+        """
+        if self.bus is not None:
+            self.bus.emit(
+                "repair.backlog", self.sim.now,
+                depth=self.pending_blocks, queued=len(self._queue),
+                in_flight=len(self._in_flight),
+            )
 
     def abort_flows_from(self, node_id: int) -> None:
         """A node died: break every in-flight rebuild it was an endpoint of.
@@ -244,6 +259,7 @@ class RepairDriver:
             if not lost and not corrupt:
                 self._queue.remove(block)
                 self._queued.discard(block)
+                self._note_backlog()
                 continue
             if self._can_repair(block):
                 self._queue.remove(block)
@@ -297,6 +313,7 @@ class RepairDriver:
                 # Raced with another failure: defer until availability changes.
                 self._queue.append(block)
                 self._queued.add(block)
+                self._note_backlog()
                 return
             sources = tuple(
                 stored for stored in repair.sources
@@ -365,6 +382,7 @@ class RepairDriver:
                     duration=sim.now - started, attempts=attempts,
                     reclaimed_tasks=reclaimed,
                 )
+            self._note_backlog()
             return
 
     def _wait_for_work(self):

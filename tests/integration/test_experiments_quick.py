@@ -48,7 +48,15 @@ class TestFig7Harness:
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        assert list_experiments() == ["fig3", "fig5", "fig7", "fig8", "fig9", "table1"]
+        assert list_experiments() == [
+            "fig3",
+            "fig5",
+            "fig7",
+            "fig8",
+            "fig9",
+            "reliability",
+            "table1",
+        ]
 
     def test_get_unknown(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,136 @@
+"""Integration tests for long-horizon reliability campaigns.
+
+The contract under test: a fixed-seed campaign completes under the
+invariant sanitizer with zero violations, reports the full MTTDL /
+latency-percentile / stability schema, and is bit-identical across runs
+and across serial-vs-parallel execution of its window trials.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cluster.network import mbps
+from repro.experiments.reliability import (
+    REPORT_SCHEMA,
+    CampaignConfig,
+    render_report,
+    report_to_json,
+    run_campaign,
+)
+from repro.faults.models import DAY, HOUR, YEAR, ExponentialLifetimes
+from repro.mapreduce.config import JobConfig
+from repro.mapreduce.workload import PoissonArrivals
+from repro.storage.repair_driver import RepairConfig
+
+#: Small but real: enough churn (and slow enough repair) for degraded reads
+#: in every window, two windows x three policies (6 trials > the serial
+#: threshold of run_many, so the default path exercises the process pool).
+CONFIG = CampaignConfig(
+    model=ExponentialLifetimes(mttf=5.0 * DAY, mttr=2.0 * HOUR),
+    arrivals=PoissonArrivals(
+        mean_interarrival=120.0,
+        templates=(JobConfig(num_blocks=90, num_reduce_tasks=6),),
+    ),
+    horizon=0.02 * YEAR,
+    iterations=1,
+    num_windows=2,
+    window_duration=1200.0,
+    repair=RepairConfig(bandwidth_cap=mbps(100.0)),
+    seed=7,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_campaign(CONFIG, check=True)
+
+
+class TestSchema:
+    def test_schema_tag_and_sections(self, report):
+        assert report["schema"] == REPORT_SCHEMA
+        assert report["checked"] is True
+        assert set(report) == {
+            "schema",
+            "config",
+            "checked",
+            "availability",
+            "windows",
+            "policies",
+        }
+
+    def test_mttdl_estimate_present(self, report):
+        availability = report["availability"]
+        if availability["censored"]:
+            assert availability["mttdl"] is None
+            assert availability["mttdl_lower_bound"] == availability["total_time"]
+        else:
+            assert availability["mttdl"] > 0
+        assert 0.0 <= availability["durability"] <= 1.0
+
+    def test_backlog_dynamics_reported(self, report):
+        backlog = report["availability"]["backlog"]
+        assert set(backlog) == {"peak", "mean", "bounded", "drained"}
+        assert backlog["peak"] >= 0
+        assert backlog["bounded"] is True
+
+    def test_every_policy_reports_percentiles_and_stability(self, report):
+        assert set(report["policies"]) == {"LF", "BDF", "EDF"}
+        for row in report["policies"].values():
+            latency = row["degraded_read_seconds"]
+            assert set(latency) == {"count", "p50", "p95", "p99"}
+            assert latency["count"] > 0, "windows anchor at failures; expect degraded reads"
+            assert 0.0 < latency["p50"] <= latency["p95"] <= latency["p99"]
+            assert row["stability"] in ("stable", "saturated", "no-data")
+            assert row["jobs"]["submitted"] > 0
+
+    def test_windows_anchor_inside_horizon(self, report):
+        assert len(report["windows"]) == CONFIG.num_windows
+        for window in report["windows"]:
+            assert 0.0 <= window["start"] <= CONFIG.horizon
+            assert window["jobs"] > 0
+
+    def test_report_renders(self, report):
+        text = render_report(report)
+        assert "MTTDL" in text
+        assert "sanitizer" in text
+
+
+class TestDeterminism:
+    def test_rerun_is_bit_identical(self, report):
+        again = run_campaign(CONFIG, check=True)
+        assert report_to_json(again) == report_to_json(report)
+
+    def test_serial_matches_parallel(self, report):
+        previous = os.environ.get("REPRO_WORKERS")
+        os.environ["REPRO_WORKERS"] = "1"
+        try:
+            serial = run_campaign(CONFIG, check=True)
+        finally:
+            if previous is None:
+                del os.environ["REPRO_WORKERS"]
+            else:
+                os.environ["REPRO_WORKERS"] = previous
+        assert report_to_json(serial) == report_to_json(report)
+
+    def test_different_seed_differs(self, report):
+        other = run_campaign(
+            CampaignConfig(
+                model=CONFIG.model,
+                arrivals=CONFIG.arrivals,
+                horizon=CONFIG.horizon,
+                iterations=CONFIG.iterations,
+                num_windows=CONFIG.num_windows,
+                window_duration=CONFIG.window_duration,
+                repair=CONFIG.repair,
+                seed=8,
+            )
+        )
+        assert report_to_json(other) != report_to_json(report)
+
+    def test_report_is_json_serialisable(self, report):
+        parsed = json.loads(report_to_json(report))
+        assert parsed["schema"] == REPORT_SCHEMA

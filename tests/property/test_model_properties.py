@@ -1,0 +1,108 @@
+"""Property tests: every generated stream is valid, alternating, deterministic."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.cluster.topology import ClusterTopology
+from repro.faults.models import (
+    CompositeModel,
+    CorrelatedBursts,
+    ExponentialLifetimes,
+    LatentSectorErrors,
+    WeibullLifetimes,
+    check_alternation,
+    slice_window,
+)
+from repro.faults.schedule import RecoverEvent
+from repro.mapreduce.workload import PoissonArrivals
+from repro.sim.rng import RngStreams
+
+HOUR = 3600.0
+
+
+@st.composite
+def models(draw):
+    mttf = draw(st.floats(min_value=2.0 * HOUR, max_value=50.0 * HOUR))
+    mttr = draw(st.floats(min_value=0.1 * HOUR, max_value=5.0 * HOUR))
+    family = draw(st.sampled_from(["exponential", "weibull", "bursts", "composite"]))
+    if family == "weibull":
+        return WeibullLifetimes(
+            mttf=mttf,
+            shape=draw(st.floats(min_value=0.4, max_value=2.0)),
+            mttr=mttr,
+        )
+    if family == "bursts":
+        return CorrelatedBursts(
+            mtbe=mttf,
+            burst_size_mean=draw(st.floats(min_value=1.0, max_value=4.0)),
+            rack_bias=draw(st.floats(min_value=0.0, max_value=1.0)),
+            mttr=mttr,
+            spread=draw(st.floats(min_value=1.0, max_value=120.0)),
+        )
+    if family == "composite":
+        return CompositeModel(
+            models=(
+                ExponentialLifetimes(mttf=mttf, mttr=mttr),
+                LatentSectorErrors(
+                    num_stripes=draw(st.integers(min_value=1, max_value=8)),
+                    stripe_width=6,
+                    block_mtbc=draw(
+                        st.floats(min_value=10.0 * HOUR, max_value=200.0 * HOUR)
+                    ),
+                ),
+            )
+        )
+    return ExponentialLifetimes(mttf=mttf, mttr=mttr)
+
+
+TOPOLOGY = ClusterTopology.from_rack_sizes([3, 3, 3])
+
+
+@settings(max_examples=40, deadline=None)
+@given(model=models(), seed=st.integers(min_value=0, max_value=2**31))
+def test_generated_streams_validate_and_alternate(model, seed):
+    schedule = model.generate(TOPOLOGY, RngStreams(seed), 100.0 * HOUR)
+    schedule.validate(TOPOLOGY, num_stripes=8, stripe_width=6)
+    check_alternation(schedule, TOPOLOGY)
+
+
+@settings(max_examples=25, deadline=None)
+@given(model=models(), seed=st.integers(min_value=0, max_value=2**31))
+def test_regeneration_is_bit_identical(model, seed):
+    first = model.generate(TOPOLOGY, RngStreams(seed), 50.0 * HOUR)
+    second = model.generate(TOPOLOGY, RngStreams(seed), 50.0 * HOUR)
+    assert first.to_dict() == second.to_dict()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    model=models(),
+    seed=st.integers(min_value=0, max_value=2**31),
+    start=st.floats(min_value=0.0, max_value=90.0 * HOUR),
+    duration=st.floats(min_value=0.5 * HOUR, max_value=10.0 * HOUR),
+)
+def test_windows_of_generated_streams_stay_consistent(model, seed, start, duration):
+    schedule = model.generate(TOPOLOGY, RngStreams(seed), 100.0 * HOUR)
+    window = slice_window(schedule, TOPOLOGY, start, duration)
+    window.validate(TOPOLOGY, num_stripes=8, stripe_width=6)
+    check_alternation(window, TOPOLOGY)
+    for event in window.events:
+        if isinstance(event, RecoverEvent):
+            assert event.at < duration
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    mean=st.floats(min_value=5.0, max_value=600.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+    horizon=st.floats(min_value=10.0, max_value=4.0 * HOUR),
+)
+def test_poisson_arrivals_sorted_in_horizon_and_deterministic(mean, seed, horizon):
+    process = PoissonArrivals(mean_interarrival=mean)
+    jobs = process.generate(RngStreams(seed), horizon)
+    times = [job.submit_time for job in jobs]
+    assert times == sorted(times)
+    assert all(0.0 < at < horizon for at in times)
+    assert jobs == process.generate(RngStreams(seed), horizon)

@@ -93,6 +93,39 @@ class TestSchedule:
         )
         schedule.validate(small_topology)  # does not raise
 
+    def test_validate_checks_every_event_and_names_the_index(self, small_topology):
+        schedule = FailureSchedule(
+            (
+                FailEvent(at=0.0, node=1),
+                RecoverEvent(at=50.0, node=1),
+                RecoverEvent(at=60.0, node=99),
+            )
+        )
+        with pytest.raises(ValueError, match=r"events\[2\].*unknown node 99"):
+            schedule.validate(small_topology)
+
+    def test_validate_index_reflects_time_order(self, small_topology):
+        # Events are sorted at construction; the reported index must point
+        # into the *sorted* tuple, not the constructor argument order.
+        schedule = FailureSchedule(
+            (FailEvent(at=90.0, node=99), FailEvent(at=1.0, node=0))
+        )
+        with pytest.raises(ValueError, match=r"events\[1\]"):
+            schedule.validate(small_topology)
+
+    def test_validate_bounds_corrupt_coordinates_when_shape_given(
+        self, small_topology
+    ):
+        from repro.faults.schedule import CorruptEvent
+
+        schedule = FailureSchedule((CorruptEvent(at=5.0, stripe=4, position=0),))
+        schedule.validate(small_topology)  # no shape: deferred to install
+        with pytest.raises(ValueError, match=r"events\[0\].*unknown stripe 4"):
+            schedule.validate(small_topology, num_stripes=4, stripe_width=6)
+        bad_position = FailureSchedule((CorruptEvent(at=5.0, stripe=0, position=6),))
+        with pytest.raises(ValueError, match="unknown block position 6"):
+            bad_position.validate(small_topology, num_stripes=4, stripe_width=6)
+
 
 class TestRoundTrip:
     SCHEDULE = FailureSchedule(

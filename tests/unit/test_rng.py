@@ -29,6 +29,33 @@ class TestStreams:
         assert rng.stream("x").random() != rng.stream("y").random()
 
 
+class TestSpawn:
+    def test_spawn_is_prefix_namespacing(self):
+        rng = RngStreams(1)
+        assert rng.spawn("a").stream("b") is rng.stream("a:b")
+
+    def test_spawn_same_name_same_child(self):
+        rng = RngStreams(1)
+        assert rng.spawn("a") is rng.spawn("a")
+
+    def test_spawn_nests(self):
+        rng = RngStreams(1)
+        assert rng.spawn("a").spawn("b").stream("c") is rng.stream("a:b:c")
+
+    def test_spawned_streams_independent_of_access_path(self):
+        direct = RngStreams(7)
+        value_direct = direct.stream("model:exp:node:3").random()
+        spawned = RngStreams(7)
+        value_spawned = (
+            spawned.spawn("model:exp").stream("node:3").random()
+        )
+        assert value_direct == value_spawned
+
+    def test_sibling_children_differ(self):
+        rng = RngStreams(1)
+        assert rng.spawn("a").stream("x").random() != rng.spawn("b").stream("x").random()
+
+
 class TestDraws:
     def test_normal_floor(self):
         rng = RngStreams(1)
