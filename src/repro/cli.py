@@ -18,6 +18,16 @@ Commands
     open-loop Poisson traffic, reporting MTTDL/durability, degraded-read
     latency percentiles, repair-backlog dynamics, and a per-policy
     saturation verdict (see :mod:`repro.experiments.reliability`).
+``repro obs analyze <events.jsonl>``
+    Post-hoc trace analytics over an exported event log: critical path,
+    map-time attribution, scheduler decision audit, latency digests
+    (see :mod:`repro.obs.analyze`).
+``repro obs report <input> -o dashboard.html``
+    Render an event log, run summary, or campaign report as a fully
+    self-contained static HTML dashboard (no external assets).
+``repro obs diff <baseline> <candidate>``
+    Compare two analysis documents metric by metric; exits 4 when any
+    metric regressed past its threshold.
 
 ``repro run --check`` / ``repro simulate --check`` run their trials under
 the sanitizer too: any invariant violation prints a report and exits 3.
@@ -35,6 +45,8 @@ Exit codes
     or an unwritable output path.
 ``3``
     The sanitizer found an invariant violation (``--check`` / ``fuzz``).
+``4``
+    ``repro obs diff`` found a metric regression past its threshold.
 
 Environment knobs: ``REPRO_SEEDS`` (samples per configuration, default 30),
 ``REPRO_WORKERS`` (process-pool width), ``REPRO_TESTBED_RUNS`` (testbed
@@ -70,6 +82,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run every trial under the invariant sanitizer; a violation "
         "prints a report and exits 3",
+    )
+    run.add_argument(
+        "--summary",
+        action="store_true",
+        help="after each simulation-backed experiment, print a one-paragraph "
+        "makespan + map-time-breakdown analysis of a representative "
+        "fixed-seed failure trial",
     )
 
     fuzz = commands.add_parser(
@@ -304,6 +323,72 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write a plain-text slot/link utilization and profiling report "
         "('-' prints to stdout)",
     )
+    simulate.add_argument(
+        "--summary",
+        action="store_true",
+        help="print a one-paragraph makespan + map-time-breakdown analysis "
+        "of the trial (critical path, locality/degraded rates)",
+    )
+
+    obs = commands.add_parser(
+        "obs", help="post-hoc trace analytics: analyze / report / diff"
+    )
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+
+    analyze = obs_commands.add_parser(
+        "analyze",
+        help="analyze an exported event log (critical path, attribution)",
+    )
+    analyze.add_argument(
+        "input",
+        help="JSON Lines event log from 'repro simulate --events FILE'",
+    )
+    analyze.add_argument(
+        "--summary",
+        action="store_true",
+        help="print the one-paragraph summary instead of the full report",
+    )
+    analyze.add_argument(
+        "--json",
+        dest="json_path",
+        metavar="FILE",
+        help="also write the versioned run-summary JSON ('-' prints to stdout)",
+    )
+
+    obs_report = obs_commands.add_parser(
+        "report", help="render a self-contained static HTML dashboard"
+    )
+    obs_report.add_argument(
+        "input",
+        help="events JSONL, run-summary JSON, or reliability-campaign JSON",
+    )
+    obs_report.add_argument(
+        "-o",
+        "--output",
+        default="report.html",
+        metavar="FILE",
+        help="HTML output path (default report.html)",
+    )
+
+    diff = obs_commands.add_parser(
+        "diff",
+        help="compare two analysis documents; exit 4 on metric regression",
+    )
+    diff.add_argument("baseline", help="baseline document (or events JSONL)")
+    diff.add_argument("candidate", help="candidate document (or events JSONL)")
+    diff.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative-change threshold for a regression (default 0.10)",
+    )
+    diff.add_argument(
+        "--metric-threshold",
+        action="append",
+        default=[],
+        metavar="NAME=FRACTION",
+        help="per-metric threshold override, e.g. makespan_s=0.05 (repeatable)",
+    )
 
     return parser
 
@@ -316,7 +401,35 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(names: list[str], check: bool = False) -> int:
+#: Experiments whose headline setting a ``--summary`` trial can represent:
+#: the paper's default cluster under a single-node failure, with the
+#: experiment's featured scheduler.  Analysis-only (fig5), testbed (fig9),
+#: and campaign (reliability) experiments have no single representative
+#: simulation trial.
+_SUMMARY_SCHEDULERS = {"fig3": "LF", "fig7": "EDF", "fig8": "BDF", "table1": "EDF"}
+
+
+def _experiment_summary(name: str) -> str | None:
+    """One-paragraph analysis of an experiment's representative trial."""
+    scheduler = _SUMMARY_SCHEDULERS.get(name)
+    if scheduler is None:
+        return None
+    from repro.mapreduce.config import SimulationConfig
+    from repro.mapreduce.simulation import run_simulation
+    from repro.obs import ObservabilityCollector
+    from repro.obs.analyze import Timeline, analyze_timeline
+
+    collector = ObservabilityCollector(keep_events=False)
+    result = run_simulation(
+        SimulationConfig(scheduler=scheduler, seed=0), observer=collector
+    )
+    timeline = Timeline.from_result(result)
+    timeline.decisions = [event.to_dict() for event in collector.decisions]
+    paragraph = analyze_timeline(timeline).summary_paragraph()
+    return f"[{name} representative trial] {paragraph}"
+
+
+def _cmd_run(names: list[str], check: bool = False, summary: bool = False) -> int:
     import contextlib
     import os
 
@@ -343,6 +456,13 @@ def _cmd_run(names: list[str], check: bool = False) -> int:
                 print(error.report(), file=sys.stderr)
                 print(f"experiment {name!r} violated an invariant", file=sys.stderr)
                 return 3
+            if summary:
+                line = _experiment_summary(name)
+                print(
+                    line
+                    if line is not None
+                    else f"[{name}] no representative simulation trial to summarize"
+                )
             print()
     finally:
         for name, value in previous.items():
@@ -489,7 +609,7 @@ def _report_simulation(args: argparse.Namespace, config) -> int:
     from repro.mapreduce.simulation import run_simulation
 
     observer = None
-    if args.events_path or args.utilization_report_path:
+    if args.events_path or args.utilization_report_path or args.summary:
         from repro.obs import ObservabilityCollector
 
         observer = ObservabilityCollector()
@@ -527,6 +647,14 @@ def _report_simulation(args: argparse.Namespace, config) -> int:
     print(f"mean degraded read time: {job.mean_degraded_read_time():.1f} s")
     print(f"remote tasks (cross-rack): {job.remote_task_count}")
     _report_faults(result)
+    if args.summary:
+        from repro.obs.analyze import Timeline, analyze_timeline
+
+        timeline = Timeline.from_result(result)
+        timeline.decisions = [event.to_dict() for event in observer.decisions]
+        timeline.event_counts = dict(observer.bus.counts)
+        print()
+        print(analyze_timeline(timeline).summary_paragraph())
     if args.timeline:
         from repro.mapreduce.trace import render_timeline
 
@@ -607,6 +735,123 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_analysis_document(path: str) -> dict:
+    """Load an analysis document, analyzing event logs on the fly.
+
+    Accepts a versioned run-summary JSON, a reliability-campaign JSON, or
+    a raw events JSONL (which is analyzed into a run summary).  Raises
+    :class:`ValueError` with a usable message on anything else.
+    """
+    import json
+
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as error:
+        raise ValueError(f"cannot read {path!r}: {error}") from None
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        try:
+            parsed = json.loads(text)
+        except json.JSONDecodeError:
+            parsed = None
+        if isinstance(parsed, dict) and "schema" in parsed:
+            return parsed
+    from repro.obs import analyze_run, read_events_jsonl
+
+    try:
+        events = read_events_jsonl(text)
+    except ValueError as error:
+        raise ValueError(
+            f"{path!r} is neither an analysis document (with a 'schema' "
+            f"tag) nor an events JSONL: {error}"
+        ) from None
+    return analyze_run(events).to_dict()
+
+
+def _cmd_obs_analyze(args: argparse.Namespace) -> int:
+    from repro.obs import analyze_run, load_events_jsonl
+
+    try:
+        events = load_events_jsonl(args.input)
+    except (OSError, ValueError) as error:
+        print(f"cannot analyze {args.input!r}: {error}", file=sys.stderr)
+        return 2
+    analysis = analyze_run(events)
+    # Write the JSON artifact before touching stdout: a downstream pipe
+    # closing early (``| head``) must not cost the file.
+    written = None
+    if args.json_path and args.json_path != "-":
+        if not _write_output(args.json_path, _summary_json(analysis)):
+            return 2
+        written = args.json_path
+    print(analysis.summary_paragraph() if args.summary else analysis.render_text())
+    if args.json_path == "-":
+        print(_summary_json(analysis), end="")
+    elif written:
+        print(f"run summary written to {written}")
+    return 0
+
+
+def _summary_json(analysis) -> str:
+    import json
+
+    from repro.obs import sanitize
+
+    return json.dumps(sanitize(analysis.to_dict()), indent=2, sort_keys=True) + "\n"
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs import report_html
+
+    try:
+        document = _load_analysis_document(args.input)
+        html_text = report_html(document)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if not _write_output(args.output, html_text):
+        return 2
+    print(f"dashboard written to {args.output}")
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    from repro.obs import diff_reports, has_regression, render_diff_text
+
+    overrides: dict[str, float] = {}
+    for item in args.metric_threshold:
+        name, separator, value = item.partition("=")
+        try:
+            if not separator or not name:
+                raise ValueError("expected NAME=FRACTION")
+            overrides[name] = float(value)
+        except ValueError as error:
+            print(f"bad --metric-threshold {item!r}: {error}", file=sys.stderr)
+            return 2
+    try:
+        baseline = _load_analysis_document(args.baseline)
+        candidate = _load_analysis_document(args.candidate)
+        rows = diff_reports(
+            baseline, candidate, threshold=args.threshold, overrides=overrides
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(render_diff_text(rows))
+    return 4 if has_regression(rows) else 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "analyze":
+        return _cmd_obs_analyze(args)
+    if args.obs_command == "report":
+        return _cmd_obs_report(args)
+    if args.obs_command == "diff":
+        return _cmd_obs_diff(args)
+    raise AssertionError(f"unhandled obs command {args.obs_command}")
+
+
 def _write_output(path: str, text: str) -> bool:
     """Write an export, creating parent directories; False (and a clean
     stderr message) instead of a traceback when the path is unwritable."""
@@ -673,13 +918,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiments, check=args.check)
+        return _cmd_run(args.experiments, check=args.check, summary=args.summary)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
     if args.command == "reliability":
         return _cmd_reliability(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

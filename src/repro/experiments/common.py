@@ -82,6 +82,54 @@ def run_many(
         return list(pool.map(runner, configs, chunksize=1))
 
 
+@dataclass(frozen=True)
+class DigestedRunner:
+    """A picklable runner wrapper that ships digests, not full results.
+
+    Wraps any module-level trial runner so each pool worker folds its
+    trial's latency samples into :func:`repro.obs.digest.digest_result`
+    digests and returns only their serialised form -- O(1) memory per
+    worker and O(bins) bytes over the pipe, independent of trial size.
+    A ``None`` result from the wrapped runner stays ``None``.
+    """
+
+    runner: object = run_simulation
+
+    def __call__(self, config: SimulationConfig) -> dict | None:
+        from repro.obs.digest import digest_result
+
+        result = self.runner(config)
+        if result is None:
+            return None
+        return {
+            name: digest.to_dict() for name, digest in digest_result(result).items()
+        }
+
+
+def run_many_digested(configs: list[SimulationConfig], runner=run_simulation) -> dict:
+    """Run many trials, returning merged campaign telemetry digests.
+
+    Fans out like :func:`run_many` but each worker returns only its
+    trial's :class:`~repro.obs.digest.LatencyDigest` triple
+    (``degraded_read`` / ``sojourn`` / ``makespan``); the digests are
+    merged here **in trial order** -- the canonical order that makes
+    serial and process-pool aggregation bit-identical.
+    """
+    from repro.obs.digest import LatencyDigest
+
+    merged: dict[str, LatencyDigest] = {}
+    for row in run_many(configs, runner=DigestedRunner(runner)):
+        if row is None:
+            continue
+        for name, payload in row.items():
+            digest = LatencyDigest.from_dict(payload)
+            if name in merged:
+                merged[name].merge(digest)
+            else:
+                merged[name] = digest
+    return merged
+
+
 def run_failure_and_normal(
     base: SimulationConfig,
     schedulers: tuple[str, ...],

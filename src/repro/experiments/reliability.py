@@ -37,7 +37,11 @@ Everything is deterministic for a campaign seed: model and arrival draws
 come from named RNG substreams, window trials fan out over
 :func:`repro.experiments.common.run_many` (serial and parallel runs are
 bit-identical), and the report is a canonically ordered JSON document
-(schema tag ``repro.reliability-campaign/v1``).
+(schema tag ``repro.reliability-campaign/v1``).  Window workers stream
+their latency samples into mergeable :class:`repro.obs.digest.LatencyDigest`
+histograms -- O(1) memory per worker, merged here in canonical window
+order -- so campaign telemetry scales to arbitrarily long windows, and
+each policy row carries its merged digests in a ``telemetry`` block.
 """
 
 from __future__ import annotations
@@ -70,9 +74,9 @@ from repro.faults.schedule import (
     RecoverEvent,
 )
 from repro.mapreduce.config import JobConfig, SimulationConfig
-from repro.mapreduce.job import MapTaskCategory, TaskKind
-from repro.mapreduce.metrics import SimulationResult, _percentile
+from repro.mapreduce.metrics import SimulationResult
 from repro.mapreduce.simulation import build_topology, run_simulation
+from repro.obs.digest import LatencyDigest, digest_result
 from repro.mapreduce.workload import ArrivalProcess, PoissonArrivals, arrivals_from_dict
 from repro.sim.rng import RngStreams
 from repro.storage.block import BlockId
@@ -394,6 +398,41 @@ def _window_runner(config: SimulationConfig) -> SimulationResult | None:
         return error.result
 
 
+def _window_telemetry(config: SimulationConfig) -> dict | None:
+    """Run one window trial and fold it into O(1)-memory telemetry.
+
+    Each pool worker keeps only the mergeable latency digests
+    (:func:`repro.obs.digest.digest_result`), job counters, and the
+    window's sojourn-vs-submit slope -- never the full task trace -- so a
+    campaign's memory and inter-process traffic stay constant per window
+    regardless of how many jobs and tasks a window runs.  ``None`` means
+    the trial refused at build time (an unrecoverable stripe), a data-loss
+    observation.
+    """
+    result = _window_runner(config)
+    if result is None:
+        return None
+    submitted = completed = failed = 0
+    points: list[tuple[float, float]] = []
+    for job in result.jobs.values():
+        submitted += 1
+        if job.failed or math.isnan(job.finish_time):
+            failed += 1
+            continue
+        completed += 1
+        points.append((job.submit_time, job.makespan))
+    return {
+        "data_loss": any(
+            job.failure_kind == "data-unavailable" for job in result.jobs.values()
+        ),
+        "jobs": {"submitted": submitted, "completed": completed, "failed": failed},
+        "slope": _fit_slope(points),
+        "digests": {
+            name: digest.to_dict() for name, digest in digest_result(result).items()
+        },
+    }
+
+
 def _window_starts(
     schedule: FailureSchedule,
     topology: ClusterTopology,
@@ -462,52 +501,38 @@ def _fit_slope(points: list[tuple[float, float]]) -> float | None:
     return cov / var
 
 
-def _percentiles(samples: list[float]) -> dict:
-    """The report's latency-summary block (p50/p95/p99 or nulls)."""
-    if not samples:
-        return {"count": 0, "p50": None, "p95": None, "p99": None}
-    ordered = sorted(samples)
-    return {
-        "count": len(ordered),
-        "p50": _percentile(ordered, 50),
-        "p95": _percentile(ordered, 95),
-        "p99": _percentile(ordered, 99),
-    }
+def _summarize_policy(rows: list[dict | None]) -> dict:
+    """Aggregate one policy's window telemetry into the report entry.
 
-
-def _summarize_policy(
-    results: list[SimulationResult | None],
-) -> dict:
-    """Aggregate one policy's window trials into the report entry."""
-    degraded: list[float] = []
+    Digests merge **in window order** -- the trial order ``run_many``
+    returns -- which is the canonical order that keeps serial and
+    process-pool campaigns bit-identical (float ``total`` sums are
+    order-dependent).  The merged digests ride along in the policy row's
+    ``telemetry`` block so reports stay mergeable downstream
+    (``repro obs report`` / cross-campaign aggregation).
+    """
+    degraded = LatencyDigest()
+    sojourn = LatencyDigest()
+    makespan = LatencyDigest()
     submitted = completed = failed = 0
-    sojourns: list[float] = []
     slopes: list[float] = []
     loss_windows = 0
-    for result in results:
-        if result is None:
+    for row in rows:
+        if row is None:
             loss_windows += 1
             continue
-        if any(job.failure_kind == "data-unavailable" for job in result.jobs.values()):
+        if row["data_loss"]:
             loss_windows += 1
-        points: list[tuple[float, float]] = []
-        for job in result.jobs.values():
-            submitted += 1
-            if job.failed or math.isnan(job.finish_time):
-                failed += 1
-                continue
-            completed += 1
-            sojourns.append(job.makespan)
-            points.append((job.submit_time, job.makespan))
-            for task in job.tasks:
-                if (
-                    task.kind is TaskKind.MAP
-                    and task.category is MapTaskCategory.DEGRADED
-                ):
-                    degraded.append(task.download_time)
-        slope = _fit_slope(points)
-        if slope is not None:
-            slopes.append(slope)
+        jobs = row["jobs"]
+        submitted += jobs["submitted"]
+        completed += jobs["completed"]
+        failed += jobs["failed"]
+        digests = row["digests"]
+        degraded.merge(LatencyDigest.from_dict(digests["degraded_read"]))
+        sojourn.merge(LatencyDigest.from_dict(digests["sojourn"]))
+        makespan.merge(LatencyDigest.from_dict(digests["makespan"]))
+        if row["slope"] is not None:
+            slopes.append(row["slope"])
     mean_slope = sum(slopes) / len(slopes) if slopes else None
     if mean_slope is None:
         stability = "no-data"
@@ -516,14 +541,16 @@ def _summarize_policy(
     else:
         stability = "stable"
     return {
-        "degraded_read_seconds": _percentiles(degraded),
+        "degraded_read_seconds": degraded.percentiles(),
         "jobs": {"submitted": submitted, "completed": completed, "failed": failed},
-        "sojourn": {
-            "mean": sum(sojourns) / len(sojourns) if sojourns else None,
-            "slope": mean_slope,
-        },
+        "sojourn": {"mean": sojourn.mean, "slope": mean_slope},
         "stability": stability,
         "data_loss_windows": loss_windows,
+        "telemetry": {
+            "degraded_read": degraded.to_dict(),
+            "sojourn": sojourn.to_dict(),
+            "makespan": makespan.to_dict(),
+        },
     }
 
 
@@ -659,7 +686,7 @@ def run_campaign(config: CampaignConfig, check: bool = False) -> dict:
     if check:
         os.environ["REPRO_CHECK"] = "1"
     try:
-        results = run_many(grid, runner=_window_runner)
+        results = run_many(grid, runner=_window_telemetry)
     finally:
         if check:
             if previous is None:
@@ -667,7 +694,7 @@ def run_campaign(config: CampaignConfig, check: bool = False) -> dict:
             else:
                 os.environ["REPRO_CHECK"] = previous
 
-    by_policy: dict[str, list[SimulationResult | None]] = {
+    by_policy: dict[str, list[dict | None]] = {
         policy: [] for policy in config.policies
     }
     for (_index, policy), result in zip(keys, results):

@@ -1,0 +1,128 @@
+"""Property tests: the JSONL event log round-trips through its own reader.
+
+The exporter's contract is *sanitised* round-tripping: any payload the
+simulator can produce -- including NaN/Infinity at arbitrary depth and
+dicts keyed by ints, bools, floats, or None -- serialises to strict JSON
+and parses back to exactly ``sanitize(...)`` of the original.  Hypothesis
+drives the payload space far wider than the simulator ever will.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.events import ObsEvent
+from repro.obs.export import events_jsonl, read_events_jsonl, sanitize
+
+#: Scalar payload values, non-finite floats very much included.
+scalar_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**12), max_value=10**12),
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.text(max_size=16),
+)
+
+#: Dict keys a careless emitter might use: JSON coerces these silently
+#: (or raises, for non-finite floats) -- sanitize must never raise.
+odd_keys = st.one_of(
+    st.text(max_size=8),
+    st.integers(min_value=-1000, max_value=1000),
+    st.booleans(),
+    st.none(),
+    st.floats(allow_nan=True, allow_infinity=True),
+)
+
+nested_payloads = st.recursive(
+    scalar_values,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(odd_keys, children, max_size=4),
+        st.frozensets(
+            st.one_of(st.integers(min_value=-50, max_value=50), st.text(max_size=4)),
+            max_size=4,
+        ),
+    ),
+    max_leaves=12,
+)
+
+#: Top-level field names come from keyword arguments in the real emitters,
+#: so they are identifiers -- but never the reserved "t"/"kind".
+field_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=10
+).filter(lambda name: name not in ("t", "kind"))
+
+event_strategy = st.builds(
+    ObsEvent,
+    time=st.floats(min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False),
+    kind=st.sampled_from(
+        ["task.launch", "task.finish", "sched.decision", "repair.end", "x"]
+    ),
+    fields=st.dictionaries(field_names, nested_payloads, max_size=4),
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(event_strategy, max_size=6))
+def test_events_round_trip_up_to_sanitisation(events):
+    text = events_jsonl(events)
+    parsed = read_events_jsonl(text)
+    assert len(parsed) == len(events)
+    for original, back in zip(events, parsed):
+        assert back.time == original.time
+        assert back.kind == original.kind
+        expected = sanitize(original.to_dict())
+        expected.pop("t")
+        expected.pop("kind")
+        assert back.fields == expected
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(event_strategy, max_size=6))
+def test_every_line_is_strict_json(events):
+    for line in events_jsonl(events).splitlines():
+        record = json.loads(line)
+        assert isinstance(record, dict)
+        # Strict JSON would re-serialise without the non-standard tokens.
+        json.dumps(record, allow_nan=False)
+
+
+@settings(max_examples=100, deadline=None)
+@given(event_strategy)
+def test_sanitize_is_idempotent(event):
+    once = sanitize(event.to_dict())
+    assert sanitize(once) == once
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(event_strategy, max_size=4))
+def test_round_trip_is_stable_after_one_pass(events):
+    """A second export of the parsed events reproduces the first byte-for-byte."""
+    first = events_jsonl(events)
+    second = events_jsonl(read_events_jsonl(first))
+    assert second == first
+
+
+class TestReaderErrors:
+    def test_garbage_line_is_reported_with_its_number(self):
+        text = '{"t": 0.0, "kind": "a"}\nnot json\n'
+        with pytest.raises(ValueError, match="line 2 is not valid JSON"):
+            read_events_jsonl(text)
+
+    def test_record_without_reserved_fields_is_rejected(self):
+        with pytest.raises(ValueError, match="needs 't' and 'kind'"):
+            read_events_jsonl('{"kind": "a"}\n')
+        with pytest.raises(ValueError, match="needs 't' and 'kind'"):
+            read_events_jsonl('{"t": 1.0}\n')
+
+    def test_non_object_line_is_rejected(self):
+        with pytest.raises(ValueError, match="line 1"):
+            read_events_jsonl("[1, 2, 3]\n")
+
+    def test_blank_lines_and_trailing_newlines_are_fine(self):
+        events = read_events_jsonl('\n{"t": 1.5, "kind": "a", "x": 2}\n\n')
+        assert len(events) == 1
+        assert events[0].time == 1.5
+        assert events[0].fields == {"x": 2}

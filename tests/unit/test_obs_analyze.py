@@ -1,0 +1,262 @@
+"""Unit tests for trace analytics (repro.obs.analyze) on synthetic timelines."""
+
+import math
+
+import pytest
+
+from repro.obs.analyze import (
+    RUN_SUMMARY_SCHEMA,
+    JobWindow,
+    TaskSpan,
+    Timeline,
+    analyze_timeline,
+    critical_path,
+    decision_audit,
+    map_time_breakdown,
+    path_coverage,
+)
+from repro.obs.events import ObsEvent
+
+
+def _span(job=0, kind="map", category="node-local", node=0, launch=0.0,
+          finish=10.0, read=0.0, **extra):
+    return TaskSpan(
+        job_id=job, kind=kind, category=category, node=node,
+        launch=launch, finish=finish, read=read, **extra,
+    )
+
+
+def _timeline(spans, submit=0.0):
+    finish = max(span.finish for span in spans)
+    first = min(span.launch for span in spans)
+    return Timeline(
+        spans=list(spans),
+        jobs={0: JobWindow(job_id=0, submit=submit, first_launch=first, finish=finish)},
+        scheduler="EDF",
+        seed=3,
+    )
+
+
+class TestCriticalPath:
+    def test_three_edge_kinds_on_a_handoff_chain(self):
+        # map A holds node 0's slot, map B takes over the instant A
+        # finishes, and the reduce (which idled on shuffle) completes when
+        # B -- the last map -- drains.
+        map_a = _span(launch=0.0, finish=10.0)
+        map_b = _span(category="degraded", launch=10.0, finish=25.0, read=5.0)
+        reduce_span = _span(kind="reduce", category=None, node=1,
+                            launch=5.0, finish=40.0, read=12.0)
+        chain = critical_path(_timeline([map_a, map_b, reduce_span]))
+        assert [step.edge for step in chain] == ["submit", "slot-wait", "shuffle-wait"]
+        assert [step.span.finish for step in chain] == [10.0, 25.0, 40.0]
+        # Execution order: root first, last-finishing span last.
+        assert chain[-1].span is reduce_span
+
+    def test_reduce_without_shuffle_wait_roots_at_submit(self):
+        lone = _span(kind="reduce", category=None, read=0.0, finish=30.0)
+        chain = critical_path(_timeline([lone]))
+        assert len(chain) == 1
+        assert chain[0].edge == "submit"
+
+    def test_empty_timeline_has_no_path(self):
+        assert critical_path(Timeline()) == []
+
+    def test_coverage_is_clamped_to_one(self):
+        # Two fully overlapping spans chained by a contrived handoff would
+        # sum past the makespan; coverage must never exceed 1.0.
+        spans = [
+            _span(launch=0.0, finish=20.0),
+            _span(node=1, launch=0.0, finish=20.0),
+        ]
+        timeline = _timeline(spans)
+        fake_chain = critical_path(timeline) * 2
+        assert path_coverage(timeline, fake_chain) <= 1.0
+
+    def test_step_to_dict_carries_the_phase_split(self):
+        step = critical_path(_timeline([_span(finish=10.0, read=4.0)]))[0]
+        payload = step.to_dict()
+        assert payload["read_s"] == pytest.approx(4.0)
+        assert payload["compute_s"] == pytest.approx(6.0)
+        assert payload["edge"] == "submit"
+
+
+class TestMapTimeBreakdown:
+    def test_read_plus_compute_equals_total_exactly(self):
+        spans = [
+            _span(category="node-local", launch=0.0, finish=9.7),
+            _span(category="degraded", launch=1.0, finish=17.3, read=6.1),
+            _span(category="remote", launch=2.0, finish=13.9, read=2.2),
+            _span(kind="reduce", category=None, launch=0.0, finish=30.0, read=8.0),
+        ]
+        rows = map_time_breakdown(_timeline(spans))
+        for row in rows.values():
+            assert row["read_s"] + row["compute_s"] == pytest.approx(
+                row["total_s"], abs=1e-12
+            )
+        assert rows["degraded"]["tasks"] == 1
+        assert rows["degraded"]["read_s"] == pytest.approx(6.1)
+        assert rows["reduce"]["read_s"] == pytest.approx(8.0)
+        assert rows["node-local"]["mean_s"] == pytest.approx(9.7)
+        assert rows["rack-local"]["tasks"] == 0
+        assert rows["rack-local"]["mean_s"] is None
+
+    def test_unknown_category_gets_its_own_row(self):
+        rows = map_time_breakdown(_timeline([_span(category="weird")]))
+        assert rows["weird"]["tasks"] == 1
+
+
+class TestDecisionAudit:
+    def test_empty_stream_yields_none(self):
+        assert decision_audit([]) is None
+
+    def test_counters_and_rates(self):
+        decisions = [
+            {"scheduler": "EDF", "action": "assign", "category": "node-local"},
+            {"scheduler": "EDF", "action": "assign", "category": "rack-local"},
+            {"scheduler": "EDF", "action": "assign", "category": "degraded",
+             "reason": "degraded-first"},
+            {"scheduler": "EDF", "action": "skip-degraded", "reason": "slave-guard"},
+            {"scheduler": "EDF", "action": "skip-degraded", "reason": "rack-guard"},
+            {"scheduler": "EDF", "action": "skip-degraded", "reason": "pacing"},
+        ]
+        audit = decision_audit(decisions)
+        assert audit["scheduler"] == "EDF"
+        assert audit["decisions"] == 6
+        assert audit["assignments"] == 3
+        assert audit["locality_rate"] == pytest.approx(2 / 3)
+        assert audit["degraded_rate"] == pytest.approx(1 / 3)
+        assert audit["guard"] == {
+            "admitted": 1,
+            "slave_rejected": 1,
+            "rack_rejected": 1,
+        }
+        assert audit["pacing_deferrals"] == 1
+        assert audit["skipped"] == {"slave-guard": 1, "rack-guard": 1, "pacing": 1}
+
+    def test_all_skips_has_none_rates(self):
+        audit = decision_audit(
+            [{"scheduler": "BDF", "action": "skip-degraded", "reason": "pacing"}]
+        )
+        assert audit["assignments"] == 0
+        assert audit["locality_rate"] is None
+        assert audit["degraded_rate"] is None
+
+
+class TestFromEvents:
+    def _events(self):
+        return [
+            ObsEvent(0.0, "job.submit", {"job_id": 0}),
+            ObsEvent(0.0, "sched.decision",
+                     {"scheduler": "EDF", "action": "assign",
+                      "category": "degraded", "job_id": 0}),
+            ObsEvent(0.0, "task.launch",
+                     {"job_id": 0, "task": "map", "node": 2, "block": 7}),
+            ObsEvent(12.5, "task.finish",
+                     {"job_id": 0, "task": "map", "node": 2, "block": 7,
+                      "runtime": 12.5, "download": 4.0, "category": "degraded"}),
+            ObsEvent(12.5, "task.launch",
+                     {"job_id": 0, "task": "reduce", "node": 3, "reduce_index": 0}),
+            ObsEvent(20.0, "task.finish",
+                     {"job_id": 0, "task": "reduce", "node": 3, "reduce_index": 0,
+                      "runtime": 7.5, "download": 2.0}),
+            ObsEvent(20.0, "job.finish", {"job_id": 0}),
+        ]
+
+    def test_round_trip_builds_spans_jobs_and_decisions(self):
+        timeline = Timeline.from_events(self._events())
+        assert len(timeline.spans) == 2
+        assert timeline.scheduler == "EDF"
+        assert timeline.makespan == pytest.approx(20.0)
+        degraded = next(span for span in timeline.spans if span.kind == "map")
+        assert degraded.category == "degraded"
+        assert degraded.read == pytest.approx(4.0)
+        assert timeline.jobs[0].finish == pytest.approx(20.0)
+        assert len(timeline.decisions) == 1
+        assert timeline.event_counts["task.finish"] == 2
+
+    def test_killed_attempt_leaves_no_span(self):
+        events = [
+            ObsEvent(0.0, "job.submit", {"job_id": 0}),
+            ObsEvent(1.0, "task.launch",
+                     {"job_id": 0, "task": "map", "node": 0, "block": 1}),
+            ObsEvent(5.0, "task.kill",
+                     {"job_id": 0, "task": "map", "node": 0, "block": 1}),
+        ]
+        timeline = Timeline.from_events(events)
+        assert timeline.spans == []
+        assert math.isnan(timeline.jobs[0].finish)
+
+    def test_concurrent_attempts_match_on_runtime_not_fifo(self):
+        # Two attempts of the same task identity are open at once; the
+        # finish events carry runtimes that identify which launch is whose.
+        events = [
+            ObsEvent(0.0, "job.submit", {"job_id": 0}),
+            ObsEvent(0.0, "task.launch",
+                     {"job_id": 0, "task": "map", "node": 1, "block": 3}),
+            ObsEvent(2.0, "task.launch",
+                     {"job_id": 0, "task": "map", "node": 1, "block": 3,
+                      "speculative": True}),
+            # The *second* launch finishes first in wall order at t=12 with
+            # runtime 10 -> matches the launch at t=2, not the FIFO head.
+            ObsEvent(12.0, "task.finish",
+                     {"job_id": 0, "task": "map", "node": 1, "block": 3,
+                      "runtime": 10.0}),
+            ObsEvent(15.0, "task.finish",
+                     {"job_id": 0, "task": "map", "node": 1, "block": 3,
+                      "runtime": 15.0}),
+        ]
+        timeline = Timeline.from_events(events)
+        launches = sorted(span.launch for span in timeline.spans)
+        assert launches == [0.0, 2.0]
+        by_launch = {span.launch: span for span in timeline.spans}
+        assert by_launch[2.0].finish == pytest.approx(12.0)
+        assert by_launch[2.0].speculative is True
+        assert by_launch[0.0].finish == pytest.approx(15.0)
+
+
+class TestRunAnalysis:
+    def _analysis(self):
+        spans = [
+            _span(launch=0.0, finish=10.0),
+            _span(category="degraded", launch=10.0, finish=25.0, read=5.0),
+            _span(kind="reduce", category=None, node=1, launch=5.0,
+                  finish=40.0, read=12.0),
+        ]
+        timeline = _timeline(spans)
+        timeline.decisions = [
+            {"scheduler": "EDF", "action": "assign", "category": "degraded"},
+        ]
+        return analyze_timeline(timeline)
+
+    def test_to_dict_is_the_versioned_run_summary(self):
+        payload = self._analysis().to_dict()
+        assert payload["schema"] == RUN_SUMMARY_SCHEMA
+        assert payload["makespan_s"] == pytest.approx(40.0)
+        assert payload["tasks"] == 3
+        assert payload["critical_path"]["steps"]
+        assert 0.0 < payload["critical_path"]["coverage"] <= 1.0
+        assert payload["audit"]["scheduler"] == "EDF"
+        assert payload["digests"]["degraded_read"]["count"] == 1
+        assert payload["jobs"]["0"]["runtime_s"] == pytest.approx(40.0)
+
+    def test_summary_paragraph_reads_like_a_sentence(self):
+        text = self._analysis().summary_paragraph()
+        assert "makespan 40.0 s" in text
+        assert "degraded" in text
+        assert "Critical path" in text
+        assert "Decisions" in text
+
+    def test_render_text_lists_breakdown_and_path(self):
+        text = self._analysis().render_text()
+        assert "== run analysis ==" in text
+        assert "map-time breakdown" in text
+        assert "critical path" in text
+        assert "[slot-wait" in text
+        assert "degraded-read latency" in text
+
+    def test_analyze_timeline_digest_counts(self):
+        analysis = self._analysis()
+        assert analysis.digests["map_runtime"].count == 2
+        assert analysis.digests["reduce_runtime"].count == 1
+        assert analysis.digests["degraded_read"].count == 1
+        assert analysis.digests["degraded_read"].total == pytest.approx(5.0)
