@@ -21,9 +21,11 @@ from repro.check.generators import (
 )
 from repro.check.fuzz import (
     SCHEDULERS,
+    FaultyRunner,
     TrialReport,
     build_scenario,
     load_repro,
+    run_campaign_fuzz,
     run_checked_trial,
     run_fuzz,
     save_repro,
@@ -39,6 +41,7 @@ from repro.check.invariants import (
 
 __all__ = [
     "SCHEDULERS",
+    "FaultyRunner",
     "InvariantMonitor",
     "InvariantViolation",
     "InvariantViolationError",
@@ -49,6 +52,7 @@ __all__ = [
     "load_repro",
     "render_report",
     "save_repro",
+    "run_campaign_fuzz",
     "run_checked_trial",
     "run_fuzz",
     "scenario_strategy",

@@ -549,3 +549,196 @@ def run_fuzz(
         "outcomes": outcomes,
         "findings": findings,
     }
+
+
+# -- campaign-harness fuzzing -------------------------------------------------
+#
+# The campaign engine (:mod:`repro.experiments.campaign`) promises complete
+# accounting no matter what the trials do: every submitted trial ends done,
+# failed, or quarantined, and the engine terminates.  This axis attacks
+# that promise directly with a runner that fails, hangs, dies, and recovers
+# on a deterministic schedule, under randomized retry/timeout policies.
+
+
+class FuzzTrialError(RuntimeError):
+    """The deliberate failure a :class:`FaultyRunner` trial raises."""
+
+
+@dataclass(frozen=True)
+class FaultyRunner:
+    """A deterministic fault-injecting toy runner for campaign fuzzing.
+
+    Each trial's fate is drawn from a hash of its config (seed, scheduler)
+    and the runner's ``seed`` -- the same trial misbehaves the same way on
+    every attempt and across resumed runs, which is what journal-replay
+    checks require.  Fates, by cumulative rate: *fail* (raise
+    :class:`FuzzTrialError` on every attempt), *flaky* (fail until a marker
+    file in ``flaky_dir`` exists, then succeed -- exercising the
+    retry-then-recover path), *kill* (``SIGKILL`` the worker process,
+    exercising worker-loss detection), *hang* (sleep ``hang_seconds``,
+    exercising trial timeouts).  Anything else returns a small
+    deterministic JSON payload, so journaling and caching work too.
+
+    Kill and hang only trigger inside pool worker processes; in the
+    driver process (the engine's serial path) they degrade to a plain
+    raise, so fuzzing can never kill or wedge the test process itself.
+    """
+
+    seed: int = 0
+    fail_rate: float = 0.0
+    flaky_rate: float = 0.0
+    kill_rate: float = 0.0
+    hang_rate: float = 0.0
+    hang_seconds: float = 30.0
+    flaky_dir: str | None = None
+
+    def _trial_key(self, config: SimulationConfig) -> str:
+        text = f"{self.seed}|{config.seed}|{config.scheduler}"
+        return hashlib.sha256(text.encode()).hexdigest()
+
+    def _roll(self, config: SimulationConfig) -> float:
+        return int(self._trial_key(config)[:12], 16) / float(16**12)
+
+    def _in_worker(self) -> bool:
+        import multiprocessing
+
+        return multiprocessing.parent_process() is not None
+
+    def __call__(self, config: SimulationConfig) -> dict:
+        roll = self._roll(config)
+        threshold = self.fail_rate
+        if roll < threshold:
+            raise FuzzTrialError(f"injected failure for trial {config.seed}")
+        threshold += self.flaky_rate
+        if roll < threshold:
+            if self.flaky_dir is None:
+                raise FuzzTrialError("flaky trial without a flaky_dir")
+            marker = os.path.join(self.flaky_dir, self._trial_key(config))
+            if not os.path.exists(marker):
+                with open(marker, "w") as handle:
+                    handle.write("attempted\n")
+                raise FuzzTrialError(
+                    f"injected first-attempt failure for trial {config.seed}"
+                )
+        else:
+            threshold += self.kill_rate
+            if roll < threshold:
+                if self._in_worker():
+                    import signal as _signal
+
+                    os.kill(os.getpid(), _signal.SIGKILL)
+                raise FuzzTrialError(
+                    f"injected kill (serial fallback) for trial {config.seed}"
+                )
+            threshold += self.hang_rate
+            if roll < threshold:
+                if self._in_worker():
+                    import time as _time
+
+                    _time.sleep(self.hang_seconds)
+                raise FuzzTrialError(
+                    f"injected hang (serial fallback) for trial {config.seed}"
+                )
+        return {
+            "trial_seed": config.seed,
+            "scheduler": config.scheduler,
+            "value": self._trial_key(config)[:8],
+        }
+
+
+def run_campaign_fuzz(batches: int, seed: int = 0, progress=None) -> dict:
+    """Fuzz the campaign harness: randomized faults under randomized policies.
+
+    Each batch builds a grid of toy trials, draws a fault mix (failures,
+    first-attempt flakes, worker kills, hangs) and an execution policy
+    (retries, workers, optional trial timeout), runs it through a
+    journaled :class:`~repro.experiments.campaign.CampaignEngine`, then
+    re-runs over the same journal.  Violations are recorded when the
+    engine breaks its contract: incomplete accounting
+    (``done + failed + quarantined != submitted``), a result list out of
+    step with the accounting, an unexpected crash, or a resumed run whose
+    replayed payloads differ from the originals.
+    """
+    import tempfile
+
+    from repro.experiments.campaign import CampaignEngine, CampaignPolicy
+
+    rng = random.Random(seed)
+    violations: list[str] = []
+    total_trials = 0
+    for batch in range(batches):
+        with tempfile.TemporaryDirectory(prefix="repro-campaign-fuzz-") as tmp:
+            num_trials = rng.randint(4, 9)
+            total_trials += num_trials
+            configs = [
+                SimulationConfig(
+                    seed=1000 * batch + index,
+                    scheduler=rng.choice(list(SCHEDULERS)),
+                )
+                for index in range(num_trials)
+            ]
+            hang = rng.random() < 0.25
+            runner = FaultyRunner(
+                seed=seed * 7919 + batch,
+                fail_rate=rng.uniform(0.0, 0.35),
+                flaky_rate=rng.uniform(0.0, 0.35),
+                kill_rate=rng.uniform(0.0, 0.25),
+                hang_rate=0.2 if hang else 0.0,
+                hang_seconds=30.0,
+                flaky_dir=tmp,
+            )
+            policy = CampaignPolicy(
+                retries=rng.randint(0, 2),
+                trial_timeout=1.0 if hang else None,
+                backoff=0.0,
+                workers=rng.randint(2, 3),
+                on_error="collect",
+            )
+            journal_path = os.path.join(tmp, "journal.jsonl")
+
+            def check(tag: str, outcome) -> None:
+                counters = outcome.counters
+                if not counters.consistent():
+                    violations.append(
+                        f"batch {batch} [{tag}]: accounting broken: "
+                        f"{counters.to_dict()}"
+                    )
+                resolved = sum(
+                    1 for payload in outcome.results if payload is not None
+                )
+                if resolved != counters.done:
+                    violations.append(
+                        f"batch {batch} [{tag}]: {resolved} result(s) for "
+                        f"{counters.done} done trial(s)"
+                    )
+
+            try:
+                first = CampaignEngine(
+                    runner=runner, policy=policy, journal_path=journal_path
+                ).run(configs)
+                check("first", first)
+                resumed = CampaignEngine(
+                    runner=runner, policy=policy, journal_path=journal_path
+                ).run(configs)
+                check("resumed", resumed)
+                for index, (before, after) in enumerate(
+                    zip(first.results, resumed.results)
+                ):
+                    if before is not None and before != after:
+                        violations.append(
+                            f"batch {batch}: replayed payload for trial "
+                            f"{index} differs from the original"
+                        )
+            except Exception as error:
+                violations.append(
+                    f"batch {batch}: engine crashed: {error!r}\n"
+                    + traceback.format_exc()
+                )
+            if progress is not None:
+                progress(batch, len(violations))
+    return {
+        "batches": batches,
+        "seed": seed,
+        "trials": total_trials,
+        "violations": violations,
+    }

@@ -18,6 +18,17 @@ Commands
     open-loop Poisson traffic, reporting MTTDL/durability, degraded-read
     latency percentiles, repair-backlog dynamics, and a per-policy
     saturation verdict (see :mod:`repro.experiments.reliability`).
+    ``--journal``/``--cache-dir`` make the window sweep crash-safe and
+    resumable.
+``repro campaign run|resume|status [options]``
+    Crash-safe scheduler sweeps (see :mod:`repro.experiments.campaign`):
+    ``run`` executes a seeds x schedulers grid with per-trial retries,
+    timeouts, and quarantine, journaling every completion to ``--journal``;
+    ``resume`` replays the journal and finishes only the missing trials
+    (the final report is bit-identical to an uninterrupted run); ``status``
+    summarises a journal without running anything.  ``--cache-dir`` adds a
+    content-addressed, sha256-verified result cache shared across
+    campaigns.
 ``repro obs analyze <events.jsonl>``
     Post-hoc trace analytics over an exported event log: critical path,
     map-time attribution, scheduler decision audit, latency digests
@@ -47,6 +58,11 @@ Exit codes
     The sanitizer found an invariant violation (``--check`` / ``fuzz``).
 ``4``
     ``repro obs diff`` found a metric regression past its threshold.
+``5``
+    Interrupted and checkpointed: SIGINT/SIGTERM drained the in-flight
+    trials into the journal and stopped; ``repro campaign resume`` (or
+    re-running ``repro reliability`` with the same ``--journal``) finishes
+    the remaining trials.
 
 Environment knobs: ``REPRO_SEEDS`` (samples per configuration, default 30),
 ``REPRO_WORKERS`` (process-pool width), ``REPRO_TESTBED_RUNS`` (testbed
@@ -118,6 +134,16 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="abort a trial as runaway after this many dispatched events",
+    )
+    fuzz.add_argument(
+        "--campaign",
+        dest="campaign_batches",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also fuzz the campaign harness: N batches with randomized "
+        "trial failures/timeouts/worker kills, asserting complete "
+        "accounting (done + failed + quarantined == submitted)",
     )
 
     reliability = commands.add_parser(
@@ -203,6 +229,131 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="json_path",
         metavar="FILE",
         help="also write the full campaign report as canonical JSON",
+    )
+    reliability.add_argument(
+        "--journal",
+        dest="journal_path",
+        metavar="FILE",
+        help="write-ahead journal for the window sweep; re-running with the "
+        "same journal skips finished windows (crash-safe resume)",
+    )
+    reliability.add_argument(
+        "--cache-dir",
+        dest="cache_dir",
+        metavar="DIR",
+        help="content-addressed result cache for window trials "
+        "(sha256-verified; corrupt entries quarantined and recomputed)",
+    )
+
+    campaign = commands.add_parser(
+        "campaign",
+        help="crash-safe scheduler sweeps: run / resume / status",
+    )
+    campaign_commands = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    def _campaign_execution_flags(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--journal",
+            dest="journal_path",
+            metavar="FILE",
+            help="write-ahead JSONL journal of trial completions "
+            "(required for resume)",
+        )
+        subparser.add_argument(
+            "--cache-dir",
+            dest="cache_dir",
+            metavar="DIR",
+            help="content-addressed result cache shared across campaigns",
+        )
+        subparser.add_argument(
+            "--retries",
+            type=int,
+            default=2,
+            help="re-attempts per trial after the first try (default 2)",
+        )
+        subparser.add_argument(
+            "--trial-timeout",
+            dest="trial_timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="wall-clock budget per trial attempt; an overrunning "
+            "worker is killed and the trial retried",
+        )
+        subparser.add_argument(
+            "--backoff",
+            type=float,
+            default=0.5,
+            metavar="SECONDS",
+            help="base of the exponential retry backoff (default 0.5)",
+        )
+        subparser.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="pool width (default: REPRO_WORKERS or every core)",
+        )
+        subparser.add_argument(
+            "--report",
+            dest="report_path",
+            metavar="FILE",
+            help="also write the campaign report as canonical JSON "
+            "(bit-identical across interrupted-and-resumed runs)",
+        )
+
+    campaign_run = campaign_commands.add_parser(
+        "run", help="run a seeds x schedulers sweep from scratch"
+    )
+    campaign_run.add_argument(
+        "--spec",
+        dest="spec_path",
+        metavar="FILE",
+        help="load the sweep spec (repro.campaign/v1 JSON) from a file "
+        "instead of building it from the flags below",
+    )
+    campaign_run.add_argument(
+        "--schedulers",
+        default="LF,BDF,EDF",
+        help="comma-separated scheduler list (default LF,BDF,EDF)",
+    )
+    campaign_run.add_argument(
+        "--seeds", type=int, default=5, help="seeds per scheduler (default 5)"
+    )
+    campaign_run.add_argument(
+        "--nodes", type=int, default=40, help="cluster size (default 40)"
+    )
+    campaign_run.add_argument(
+        "--blocks",
+        type=int,
+        default=1440,
+        help="input blocks per job (default 1440; lower for quick sweeps)",
+    )
+    _campaign_execution_flags(campaign_run)
+
+    campaign_resume = campaign_commands.add_parser(
+        "resume", help="finish an interrupted sweep from its journal"
+    )
+    campaign_resume.add_argument(
+        "--spec",
+        dest="spec_path",
+        metavar="FILE",
+        help="sweep spec JSON (must match the interrupted run)",
+    )
+    campaign_resume.add_argument("--schedulers", default="LF,BDF,EDF")
+    campaign_resume.add_argument("--seeds", type=int, default=5)
+    campaign_resume.add_argument("--nodes", type=int, default=40)
+    campaign_resume.add_argument("--blocks", type=int, default=1440)
+    _campaign_execution_flags(campaign_resume)
+
+    campaign_status = campaign_commands.add_parser(
+        "status", help="summarise a campaign journal without running"
+    )
+    campaign_status.add_argument(
+        "--journal",
+        dest="journal_path",
+        metavar="FILE",
+        required=True,
+        help="the journal to inspect",
     )
 
     simulate = commands.add_parser("simulate", help="run one simulation trial")
@@ -531,18 +682,148 @@ def _cmd_reliability(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"bad campaign options: {error}", file=sys.stderr)
         return 2
+    from repro.experiments.campaign import CampaignInterrupted
+
     try:
-        report = run_campaign(config, check=args.check)
+        report = run_campaign(
+            config,
+            check=args.check,
+            journal_path=args.journal_path,
+            cache_dir=args.cache_dir,
+        )
     except InvariantViolationError as error:
         print(error.report(), file=sys.stderr)
         print("sanitizer: the campaign violated simulator invariants", file=sys.stderr)
         return 3
+    except CampaignInterrupted as stop:
+        print(_interrupted_message(stop, args.journal_path), file=sys.stderr)
+        return 5
     print(render_report(report))
     if args.json_path and not _write_output(args.json_path, report_to_json(report)):
         return 2
     if args.json_path:
         print(f"campaign report written to {args.json_path}")
     return 0
+
+
+def _interrupted_message(stop, journal_path: str | None) -> str:
+    """The exit-code-5 explanation: what was saved and how to continue."""
+    counters = stop.counters
+    saved = (
+        f"{counters.done} finished trial(s) checkpointed to {journal_path}; "
+        "resume with the same --journal to finish the rest"
+        if journal_path
+        else "no --journal was given, so nothing was checkpointed"
+    )
+    return f"interrupted: {stop.remaining} trial(s) remaining; {saved}"
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.campaign import (
+        CampaignInterrupted,
+        CampaignPolicy,
+        Journal,
+        SweepSpec,
+        journal_status,
+        render_sweep_report,
+        report_to_json,
+        run_sweep,
+    )
+
+    if args.campaign_command == "status":
+        status = journal_status(args.journal_path)
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+
+    try:
+        if args.spec_path:
+            spec = SweepSpec.load(args.spec_path)
+        else:
+            from repro.mapreduce.config import JobConfig, SimulationConfig
+
+            schedulers = tuple(
+                name.strip().upper()
+                for name in args.schedulers.split(",")
+                if name.strip()
+            )
+            spec = SweepSpec(
+                base=SimulationConfig(
+                    num_nodes=args.nodes,
+                    jobs=(JobConfig(num_blocks=args.blocks),),
+                ),
+                schedulers=schedulers,
+                seeds=tuple(range(args.seeds)),
+            )
+        policy = CampaignPolicy(
+            retries=args.retries,
+            trial_timeout=args.trial_timeout,
+            backoff=args.backoff,
+            workers=args.workers,
+            on_error="collect",
+        )
+    except (OSError, ValueError) as error:
+        print(f"bad campaign options: {error}", file=sys.stderr)
+        return 2
+
+    journal_path = args.journal_path
+    if args.campaign_command == "resume":
+        if not journal_path:
+            print("campaign resume needs --journal", file=sys.stderr)
+            return 2
+        import os
+
+        if not os.path.exists(journal_path):
+            print(f"no journal at {journal_path!r} to resume from", file=sys.stderr)
+            return 2
+    elif journal_path:
+        import os
+
+        if os.path.exists(journal_path) and Journal.load(journal_path).records:
+            print(
+                f"journal {journal_path!r} already has finished trials; "
+                "use 'repro campaign resume' to continue it",
+                file=sys.stderr,
+            )
+            return 2
+
+    cache = None
+    if args.cache_dir:
+        from repro import __version__
+        from repro.experiments.cache import ResultCache
+
+        cache = ResultCache(directory=args.cache_dir, code_version=__version__)
+
+    def progress(index: int, status: str, attempts: int) -> None:
+        retried = f" (attempt {attempts})" if attempts > 1 else ""
+        print(f"trial {index:4d}: {status}{retried}")
+
+    try:
+        report, _outcome = run_sweep(
+            spec,
+            policy=policy,
+            journal_path=journal_path,
+            cache=cache,
+            progress=progress,
+        )
+    except CampaignInterrupted as stop:
+        print(_interrupted_message(stop, journal_path), file=sys.stderr)
+        return 5
+    print(render_sweep_report(report))
+    if args.report_path and not _write_output(
+        args.report_path, report_to_json(report)
+    ):
+        return 2
+    if args.report_path:
+        print(f"campaign report written to {args.report_path}")
+    if cache is not None:
+        stats = cache.stats
+        print(
+            f"cache: {stats.hits} hit(s), {stats.misses} miss(es), "
+            f"{stats.corrupt} corrupt, {stats.stores} store(s)"
+        )
+    return 1 if report["failures"] else 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -723,7 +1004,20 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         args.report_path, json.dumps(summary, indent=2, sort_keys=True) + "\n"
     ):
         return 2
-    if summary["findings"]:
+    campaign_findings: list[str] = []
+    if args.campaign_batches > 0:
+        from repro.check import run_campaign_fuzz
+
+        campaign_summary = run_campaign_fuzz(
+            args.campaign_batches, seed=args.seed
+        )
+        campaign_findings = campaign_summary["violations"]
+        print(
+            f"campaign-fuzzed {campaign_summary['batches']} batch(es) "
+            f"({campaign_summary['trials']} trial(s), seed {args.seed}): "
+            f"{len(campaign_findings)} accounting violation(s)"
+        )
+    if summary["findings"] or campaign_findings:
         for finding in summary["findings"]:
             where = finding.get("path", "(not saved; pass --corpus)")
             print(
@@ -731,6 +1025,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                 f"{finding['message']}\n  repro: {where}",
                 file=sys.stderr,
             )
+        for message in campaign_findings:
+            print(f"finding [campaign-accounting]: {message}", file=sys.stderr)
         return 3
     return 0
 
@@ -923,6 +1219,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_fuzz(args)
     if args.command == "reliability":
         return _cmd_reliability(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
     if args.command == "obs":

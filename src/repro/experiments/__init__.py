@@ -12,10 +12,22 @@ its rows:
   campaigns (MTTDL, degraded-read latency tails, saturation verdicts).
 * :mod:`repro.experiments.registry` -- name -> runner mapping for the CLI.
 * :mod:`repro.experiments.common` -- shared trial plumbing.
+* :mod:`repro.experiments.campaign` -- crash-safe campaign engine
+  (journaled resumable sweeps, worker fault tolerance).
+* :mod:`repro.experiments.cache` -- integrity-verified result cache.
 """
 
+from repro.experiments.campaign import (
+    CampaignEngine,
+    CampaignInterrupted,
+    CampaignPolicy,
+    SweepSpec,
+    run_sweep,
+)
+from repro.experiments.cache import ResultCache
 from repro.experiments.common import (
     ExperimentTable,
+    NormalizationError,
     normalized_runtimes,
     run_failure_and_normal,
     run_many,
@@ -30,7 +42,13 @@ from repro.experiments.reliability import (
 
 __all__ = [
     "CampaignConfig",
+    "CampaignEngine",
+    "CampaignInterrupted",
+    "CampaignPolicy",
     "ExperimentTable",
+    "NormalizationError",
+    "ResultCache",
+    "SweepSpec",
     "get_experiment",
     "list_experiments",
     "normalized_runtimes",
@@ -39,4 +57,5 @@ __all__ = [
     "run_campaign",
     "run_failure_and_normal",
     "run_many",
+    "run_sweep",
 ]

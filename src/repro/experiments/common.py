@@ -12,8 +12,8 @@ trial is an independent single-threaded event-loop run.
 
 from __future__ import annotations
 
+import math
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.cluster.failures import FailurePattern
@@ -59,15 +59,25 @@ def max_workers() -> int:
     """Process-pool width, honouring the ``REPRO_WORKERS`` override.
 
     Defaults to every core: simulation trials are single-threaded and
-    independent, and experiment batches are trivially parallel.
+    independent, and experiment batches are trivially parallel.  Like
+    ``REPRO_SEEDS``, a zero or negative override raises a
+    :class:`ValueError` naming the variable instead of being silently
+    clamped to one worker.
     """
     if os.environ.get("REPRO_WORKERS") is not None:
-        return max(1, _env_int("REPRO_WORKERS", 1))
+        count = _env_int("REPRO_WORKERS", 1)
+        if count <= 0:
+            raise ValueError(f"REPRO_WORKERS must be positive, got {count}")
+        return count
     return max(1, os.cpu_count() or 1)
 
 
 def run_many(
-    configs: list[SimulationConfig], runner=run_simulation
+    configs: list[SimulationConfig],
+    runner=run_simulation,
+    policy=None,
+    journal_path: str | None = None,
+    cache_dir: str | None = None,
 ) -> list[SimulationResult]:
     """Run many independent trials, in parallel when it pays off.
 
@@ -75,11 +85,34 @@ def run_many(
     it); campaigns pass a wrapper that converts typed refusals into data
     instead of letting one doomed trial abort the whole batch.  Serial and
     parallel execution produce identical result lists.
+
+    Execution goes through the crash-safe
+    :class:`~repro.experiments.campaign.CampaignEngine`: a worker killed
+    by the OS costs a retry, never the batch.  By default trial exceptions
+    propagate exactly as they always have; pass a
+    :class:`~repro.experiments.campaign.CampaignPolicy` to change retry/
+    timeout/failure-collection behaviour, ``journal_path`` to make the run
+    resumable, and ``cache_dir`` to reuse verified results across runs
+    (both require a JSON-payload runner such as :class:`DigestedRunner`).
     """
-    if len(configs) <= 2 or max_workers() == 1:
-        return [runner(config) for config in configs]
-    with ProcessPoolExecutor(max_workers=max_workers()) as pool:
-        return list(pool.map(runner, configs, chunksize=1))
+    from repro.experiments.campaign import CampaignEngine
+
+    engine = CampaignEngine(
+        runner=runner,
+        policy=policy,
+        journal_path=journal_path,
+        cache=_open_cache(cache_dir),
+    )
+    return engine.run(configs).results
+
+
+def _open_cache(cache_dir: str | None):
+    if cache_dir is None:
+        return None
+    from repro import __version__
+    from repro.experiments.cache import ResultCache
+
+    return ResultCache(directory=cache_dir, code_version=__version__)
 
 
 @dataclass(frozen=True)
@@ -106,19 +139,32 @@ class DigestedRunner:
         }
 
 
-def run_many_digested(configs: list[SimulationConfig], runner=run_simulation) -> dict:
+def run_many_digested(
+    configs: list[SimulationConfig],
+    runner=run_simulation,
+    policy=None,
+    journal_path: str | None = None,
+    cache_dir: str | None = None,
+) -> dict:
     """Run many trials, returning merged campaign telemetry digests.
 
     Fans out like :func:`run_many` but each worker returns only its
     trial's :class:`~repro.obs.digest.LatencyDigest` triple
     (``degraded_read`` / ``sojourn`` / ``makespan``); the digests are
     merged here **in trial order** -- the canonical order that makes
-    serial and process-pool aggregation bit-identical.
+    serial and process-pool aggregation bit-identical.  Digest payloads
+    are plain JSON, so these runs can always be journaled and cached.
     """
     from repro.obs.digest import LatencyDigest
 
     merged: dict[str, LatencyDigest] = {}
-    for row in run_many(configs, runner=DigestedRunner(runner)):
+    for row in run_many(
+        configs,
+        runner=DigestedRunner(runner),
+        policy=policy,
+        journal_path=journal_path,
+        cache_dir=cache_dir,
+    ):
         if row is None:
             continue
         for name, payload in row.items():
@@ -160,11 +206,42 @@ def run_failure_and_normal(
     return grouped
 
 
+class NormalizationError(ValueError):
+    """A normal-mode reference runtime is unusable as a denominator.
+
+    Raised instead of letting a zero, NaN, or failed-job reference emit
+    ``inf``/``nan`` (or a bare ``ZeroDivisionError``) into boxplot stats,
+    naming the offending seed so the broken reference run can be found.
+    """
+
+
 def normalized_runtimes(
-    grouped: dict[str, list[SimulationResult]], job_id: int = 0
+    grouped: dict[str, list[SimulationResult]],
+    job_id: int = 0,
+    seeds: list[int] | None = None,
 ) -> dict[str, list[float]]:
-    """Normalized runtime samples per scheduler (failure over normal)."""
+    """Normalized runtime samples per scheduler (failure over normal).
+
+    Every normal-mode reference runtime is validated before use; a zero,
+    non-finite, or failed reference raises :class:`NormalizationError`
+    naming the seed (``seeds[i]`` when the caller passes the seed list
+    used to build the grid, the sample index otherwise).
+    """
     normal = grouped["normal"]
+    for position, reference in enumerate(normal):
+        job = reference.job(job_id)
+        runtime = job.runtime
+        if job.failed or not math.isfinite(runtime) or runtime <= 0.0:
+            which = (
+                f"seed {seeds[position]}"
+                if seeds is not None and position < len(seeds)
+                else f"sample {position}"
+            )
+            raise NormalizationError(
+                f"normal-mode reference runtime for job {job_id} at {which} "
+                f"is unusable ({'failed job' if job.failed else runtime!r}); "
+                "cannot normalize failure-mode runtimes against it"
+            )
     normalized: dict[str, list[float]] = {}
     for name, results in grouped.items():
         if name == "normal":

@@ -557,13 +557,24 @@ def _summarize_policy(rows: list[dict | None]) -> dict:
 # -- the campaign driver ------------------------------------------------------
 
 
-def run_campaign(config: CampaignConfig, check: bool = False) -> dict:
+def run_campaign(
+    config: CampaignConfig,
+    check: bool = False,
+    journal_path: str | None = None,
+    cache_dir: str | None = None,
+) -> dict:
     """Run a full reliability campaign and return the report dict.
 
     With ``check`` on, generator determinism is asserted up front
     (:func:`repro.check.check_generator_determinism`) and every window trial
     runs under the invariant sanitizer (``REPRO_CHECK`` reaches the process
     pool); an :class:`~repro.check.InvariantViolationError` propagates.
+
+    ``journal_path``/``cache_dir`` make the Phase B window sweep crash-safe
+    and resumable via the campaign engine's write-ahead journal and
+    verified result cache: re-running an interrupted campaign with the
+    same journal skips finished windows and yields a bit-identical report
+    (window telemetry payloads are plain JSON, so journal replay is exact).
     """
     topology = build_topology(config.base)
     params = config.base.code
@@ -686,7 +697,12 @@ def run_campaign(config: CampaignConfig, check: bool = False) -> dict:
     if check:
         os.environ["REPRO_CHECK"] = "1"
     try:
-        results = run_many(grid, runner=_window_telemetry)
+        results = run_many(
+            grid,
+            runner=_window_telemetry,
+            journal_path=journal_path,
+            cache_dir=cache_dir,
+        )
     finally:
         if check:
             if previous is None:

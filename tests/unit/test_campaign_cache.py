@@ -1,0 +1,180 @@
+"""Unit tests for the integrity-verified result cache."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.cache import (
+    ENTRY_SCHEMA,
+    ResultCache,
+    cache_key,
+    canonical_json,
+    payload_sha256,
+    write_atomic,
+)
+
+PAYLOAD = {"digests": {"makespan": [1, 2, 3]}, "jobs": {"done": 4}, "pi": 3.25}
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(directory=str(tmp_path / "cache"), code_version="1.0.0")
+
+
+class TestCanonicalJson:
+    def test_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+    def test_rejects_non_json(self):
+        with pytest.raises(TypeError):
+            canonical_json({"x": object()})
+
+    def test_float_roundtrip_exact(self):
+        payload = {"x": 0.1 + 0.2, "y": 1e-17}
+        assert json.loads(canonical_json(payload)) == payload
+
+
+class TestKeys:
+    def test_key_binds_code_version(self):
+        spec = payload_sha256(PAYLOAD)
+        assert cache_key(spec, "1.0.0") != cache_key(spec, "1.0.1")
+
+    def test_key_binds_spec(self):
+        assert cache_key("a", "1.0.0") != cache_key("b", "1.0.0")
+
+
+class TestRoundTrip:
+    def test_put_get(self, cache):
+        key = cache.key_for("spec")
+        cache.put(key, PAYLOAD)
+        assert cache.get(key) == PAYLOAD
+        assert cache.stats.hits == 1 and cache.stats.stores == 1
+
+    def test_missing_is_miss(self, cache):
+        assert cache.get(cache.key_for("nope")) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.corrupt == 0
+
+    def test_unserialisable_payload_raises(self, cache):
+        with pytest.raises(TypeError):
+            cache.put(cache.key_for("spec"), {"x": object()})
+
+    def test_entries_are_sharded(self, cache):
+        key = cache.key_for("spec")
+        cache.put(key, PAYLOAD)
+        assert os.path.exists(
+            os.path.join(cache.directory, key[:2], f"{key}.json")
+        )
+
+
+class TestCorruptionDetection:
+    def _entry_path(self, cache, key):
+        return os.path.join(cache.directory, key[:2], f"{key}.json")
+
+    def _corrupt_one_byte(self, path):
+        with open(path, "rb") as handle:
+            raw = bytearray(handle.read())
+        # Flip a byte inside the payload body, keeping the JSON parseable:
+        # change a digit of a stored number.
+        target = raw.find(b"3.25")
+        assert target >= 0
+        raw[target] = ord(b"9")
+        with open(path, "wb") as handle:
+            handle.write(raw)
+
+    def test_flipped_byte_detected_and_quarantined(self, cache):
+        key = cache.key_for("spec")
+        cache.put(key, PAYLOAD)
+        path = self._entry_path(cache, key)
+        self._corrupt_one_byte(path)
+
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+        assert not os.path.exists(path)
+        quarantined = os.listdir(cache.quarantine_dir)
+        assert quarantined == [f"{key}.payload-hash-mismatch.json"]
+
+    def test_corrupt_entry_recomputed_via_put(self, cache):
+        key = cache.key_for("spec")
+        cache.put(key, PAYLOAD)
+        self._corrupt_one_byte(self._entry_path(cache, key))
+        assert cache.get(key) is None
+        # The campaign recomputes and stores; the cache is healthy again.
+        cache.put(key, PAYLOAD)
+        assert cache.get(key) == PAYLOAD
+
+    def test_truncated_entry_is_corrupt(self, cache):
+        key = cache.key_for("spec")
+        cache.put(key, PAYLOAD)
+        path = self._entry_path(cache, key)
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) // 2)
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+        assert os.listdir(cache.quarantine_dir) == [f"{key}.malformed-json.json"]
+
+    def test_wrong_schema_is_corrupt(self, cache, tmp_path):
+        key = cache.key_for("spec")
+        cache.put(key, PAYLOAD)
+        path = self._entry_path(cache, key)
+        entry = json.loads(open(path).read())
+        entry["schema"] = "something/else"
+        write_atomic(path, json.dumps(entry))
+        assert cache.get(key) is None
+        assert os.listdir(cache.quarantine_dir) == [f"{key}.bad-schema.json"]
+
+    def test_key_mismatch_is_corrupt(self, cache):
+        key = cache.key_for("spec")
+        other = cache.key_for("other")
+        cache.put(key, PAYLOAD)
+        # Copy the entry for "spec" under the address for "other".
+        source = self._entry_path(cache, key)
+        target = self._entry_path(cache, other)
+        os.makedirs(os.path.dirname(target), exist_ok=True)
+        with open(source) as handle:
+            write_atomic(target, handle.read())
+        assert cache.get(other) is None
+        assert f"{other}.key-mismatch.json" in os.listdir(cache.quarantine_dir)
+
+    def test_version_mismatch_is_corrupt(self, cache):
+        key = cache.key_for("spec")
+        cache.put(key, PAYLOAD)
+        stale = ResultCache(directory=cache.directory, code_version="0.9.0")
+        # Same key string looked up by a different code version resolves to
+        # a different address entirely -- a plain miss, not a hit.
+        assert stale.key_for("spec") != key
+        # But an entry whose *recorded* version disagrees is a corruption.
+        path = self._entry_path(cache, key)
+        entry = json.loads(open(path).read())
+        entry["code_version"] = "0.9.0"
+        write_atomic(path, json.dumps(entry))
+        assert cache.get(key) is None
+        assert f"{key}.version-mismatch.json" in os.listdir(cache.quarantine_dir)
+
+    def test_entry_schema_tag(self, cache):
+        key = cache.key_for("spec")
+        cache.put(key, PAYLOAD)
+        entry = json.loads(open(self._entry_path(cache, key)).read())
+        assert entry["schema"] == ENTRY_SCHEMA
+        assert entry["payload_sha256"] == payload_sha256(PAYLOAD)
+
+
+class TestWriteAtomic:
+    def test_no_tmp_residue(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        write_atomic(path, "hello\n")
+        assert open(path).read() == "hello\n"
+        assert [entry for entry in os.listdir(tmp_path) if ".tmp" in entry] == []
+
+    def test_overwrites_in_place(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        write_atomic(path, "one\n")
+        write_atomic(path, "two\n")
+        assert open(path).read() == "two\n"

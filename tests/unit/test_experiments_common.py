@@ -9,12 +9,14 @@ from repro.cluster.network import MB
 from repro.ec.codec import CodeParams
 from repro.experiments.common import (
     ExperimentTable,
+    NormalizationError,
     default_seeds,
     max_workers,
     normalized_runtimes,
     run_failure_and_normal,
 )
 from repro.mapreduce.config import JobConfig, SimulationConfig
+from repro.mapreduce.metrics import JobMetrics
 
 
 def tiny_config() -> SimulationConfig:
@@ -46,8 +48,18 @@ class TestEnvKnobs:
     def test_max_workers_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "3")
         assert max_workers() == 3
+
+    def test_max_workers_zero_raises(self, monkeypatch):
+        # Consistency with REPRO_SEEDS: a nonsensical override is an error
+        # naming the variable, not a silent clamp to one worker.
         monkeypatch.setenv("REPRO_WORKERS", "0")
-        assert max_workers() == 1
+        with pytest.raises(ValueError, match="REPRO_WORKERS must be positive"):
+            max_workers()
+
+    def test_max_workers_negative_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "-2")
+        with pytest.raises(ValueError, match="REPRO_WORKERS must be positive"):
+            max_workers()
 
     def test_malformed_seeds_names_the_variable(self, monkeypatch):
         monkeypatch.setenv("REPRO_SEEDS", "thirty")
@@ -78,6 +90,64 @@ class TestRunFailureAndNormal:
         assert set(normalized) == {"LF"}
         for value in normalized["LF"]:
             assert value > 1.0
+
+
+class _FakeResult:
+    """Just enough of a SimulationResult for normalized_runtimes."""
+
+    def __init__(self, runtime: float, failed: bool = False) -> None:
+        self._job = JobMetrics(
+            job_id=0,
+            submit_time=0.0,
+            first_launch_time=0.0,
+            finish_time=runtime,
+            failed=failed,
+        )
+
+    def job(self, job_id: int) -> JobMetrics:
+        return self._job
+
+
+class TestNormalizationGuard:
+    def test_zero_reference_raises_named_error(self):
+        grouped = {
+            "LF": [_FakeResult(10.0), _FakeResult(12.0)],
+            "normal": [_FakeResult(8.0), _FakeResult(0.0)],
+        }
+        with pytest.raises(NormalizationError, match="sample 1"):
+            normalized_runtimes(grouped)
+
+    def test_seed_named_when_seeds_given(self):
+        grouped = {
+            "LF": [_FakeResult(10.0), _FakeResult(12.0)],
+            "normal": [_FakeResult(8.0), _FakeResult(0.0)],
+        }
+        with pytest.raises(NormalizationError, match="seed 11"):
+            normalized_runtimes(grouped, seeds=[7, 11])
+
+    def test_failed_reference_raises(self):
+        grouped = {
+            "LF": [_FakeResult(10.0)],
+            "normal": [_FakeResult(8.0, failed=True)],
+        }
+        with pytest.raises(NormalizationError, match="failed job"):
+            normalized_runtimes(grouped)
+
+    def test_nan_reference_raises(self):
+        grouped = {
+            "LF": [_FakeResult(10.0)],
+            "normal": [_FakeResult(float("nan"))],
+        }
+        with pytest.raises(NormalizationError):
+            normalized_runtimes(grouped)
+
+    def test_healthy_references_pass(self):
+        grouped = {
+            "LF": [_FakeResult(10.0), _FakeResult(12.0)],
+            "normal": [_FakeResult(8.0), _FakeResult(6.0)],
+        }
+        normalized = normalized_runtimes(grouped)
+        assert normalized["LF"] == [pytest.approx(1.25), pytest.approx(2.0)]
 
 
 class TestExperimentTable:
