@@ -35,19 +35,13 @@ class CauchyReedSolomon(ReedSolomon):
     """Drop-in alternative coder using the Cauchy construction.
 
     Shares every behaviour with :class:`~repro.ec.reed_solomon.ReedSolomon`
-    (encode, decode-from-any-k, single-block reconstruction); only the
-    generator matrix differs, which changes the parity bytes but not the
-    code's guarantees.
+    (encode, decode-from-any-k, single-block reconstruction, decode-plan
+    caching); only the generator matrix differs, which changes the parity
+    bytes but not the code's guarantees.
     """
 
-    def __init__(self, n: int, k: int) -> None:
-        # Intentionally not calling super().__init__: the base constructor
-        # builds the Vandermonde generator, which we replace wholesale.
-        if not 0 < k <= n:
-            raise ValueError(f"require 0 < k <= n, got n={n} k={k}")
-        self.n = n
-        self.k = k
-        self._generator = cauchy_generator_matrix(n, k)
+    def _build_generator(self) -> np.ndarray:
+        return cauchy_generator_matrix(self.n, self.k)
 
 
 def crs_encode(

@@ -79,6 +79,11 @@ class ErasureCodec:
         else:
             self._coder = ReedSolomon(params.n, params.k)
 
+    @property
+    def coder(self) -> ReedSolomon:
+        """The underlying coder (shared decode-plan caches live here)."""
+        return self._coder
+
     def encode_stripe(self, native_blocks: Sequence[bytes]) -> list[bytes]:
         """Encode one stripe: returns the full ``n``-block stripe.
 
@@ -89,20 +94,40 @@ class ErasureCodec:
         returned native blocks keep their exact original content; parity
         blocks carry the padded length.
         """
-        if not 0 < len(native_blocks) <= self.params.k:
-            raise ValueError(
-                f"stripe needs 1..{self.params.k} native blocks, got {len(native_blocks)}"
-            )
-        length = max(len(block) for block in native_blocks)
-        padded = [block.ljust(length, b"\0") for block in native_blocks]
-        while len(padded) < self.params.k:
-            padded.append(b"\0" * length)
-        parity = self._coder.encode(padded)
-        placeholders = [b""] * (self.params.k - len(native_blocks))
-        return list(native_blocks) + placeholders + parity
+        return self.encode_stripes([native_blocks])[0]
+
+    def encode_stripes(
+        self, stripe_natives: Sequence[Sequence[bytes]]
+    ) -> list[list[bytes]]:
+        """Encode many stripes in one batched kernel pass.
+
+        Semantically identical to calling :meth:`encode_stripe` per stripe
+        (the coder-level batching zero-pads short stripes and the zero
+        parity tail truncates away), but all parity for a whole file is
+        produced by a single matvec over stacked blocks, which is what
+        makes the fig9 testbed's ``write_file`` cheap.
+        """
+        padded_stripes: list[list[bytes]] = []
+        for native_blocks in stripe_natives:
+            if not 0 < len(native_blocks) <= self.params.k:
+                raise ValueError(
+                    f"stripe needs 1..{self.params.k} native blocks,"
+                    f" got {len(native_blocks)}"
+                )
+            length = max(len(block) for block in native_blocks)
+            padded = [block.ljust(length, b"\0") for block in native_blocks]
+            while len(padded) < self.params.k:
+                padded.append(b"\0" * length)
+            padded_stripes.append(padded)
+        parity_per_stripe = self._coder.encode_stripes(padded_stripes)
+        stripes: list[list[bytes]] = []
+        for native_blocks, parity in zip(stripe_natives, parity_per_stripe):
+            placeholders = [b""] * (self.params.k - len(native_blocks))
+            stripes.append(list(native_blocks) + placeholders + parity)
+        return stripes
 
     def encode_file(self, data: bytes, block_size: int) -> list[list[bytes]]:
-        """Split ``data`` into blocks and encode stripe by stripe.
+        """Split ``data`` into blocks and encode all stripes in one batch.
 
         Returns one full stripe (``n`` blocks) per group of ``k`` natives.
         """
@@ -111,10 +136,12 @@ class ErasureCodec:
         blocks = [data[offset : offset + block_size] for offset in range(0, len(data), block_size)]
         if not blocks:
             blocks = [b""]
-        stripes: list[list[bytes]] = []
-        for start in range(0, len(blocks), self.params.k):
-            stripes.append(self.encode_stripe(blocks[start : start + self.params.k]))
-        return stripes
+        return self.encode_stripes(
+            [
+                blocks[start : start + self.params.k]
+                for start in range(0, len(blocks), self.params.k)
+            ]
+        )
 
     def degraded_read(
         self,

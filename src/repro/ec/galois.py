@@ -49,10 +49,12 @@ _EXP, _LOG = _build_tables()
 
 #: Full 256x256 multiplication table, used by the vectorised helpers.
 _MUL_TABLE = np.zeros((FIELD_SIZE, FIELD_SIZE), dtype=np.uint8)
-for _a in range(1, FIELD_SIZE):
-    for _b in range(1, FIELD_SIZE):
-        _MUL_TABLE[_a, _b] = _EXP[_LOG[_a] + _LOG[_b]]
-del _a, _b
+_MUL_TABLE[1:, 1:] = _EXP[_LOG[1:, None] + _LOG[None, 1:]]
+
+#: Elementwise multiplicative inverses; ``_INV_TABLE[0]`` is 0 and must be
+#: guarded by callers (0 has no inverse).
+_INV_TABLE = np.zeros(FIELD_SIZE, dtype=np.uint8)
+_INV_TABLE[1:] = _EXP[FIELD_ORDER - _LOG[1:]]
 
 
 def gf_add(a: int, b: int) -> int:
@@ -113,6 +115,45 @@ def mul_bytes(coefficient: int, data: np.ndarray) -> np.ndarray:
     if coefficient == 1:
         return data.copy()
     return _MUL_TABLE[coefficient][data]
+
+
+#: Rows a packed pair-table can carry: four ``uint16`` product lanes fit in
+#: the widest (``uint64``) table entry.
+PACK_ROWS = 4
+
+#: Narrowest table dtype that fits ``span`` packed rows (two product bytes
+#: per row: one per input byte of the pair index).
+_PACK_DTYPES = {1: np.uint16, 2: np.uint32, 3: np.uint64, 4: np.uint64}
+
+
+def packed_pair_table(coefficients: np.ndarray) -> np.ndarray:
+    """Build the pair-indexed product table for up to :data:`PACK_ROWS` rows.
+
+    The returned table ``T`` has 65536 entries of the narrowest unsigned
+    dtype that fits the rows.  Indexing it with the little-endian ``uint16``
+    view of a byte block gives, in one gather, the products of *both* bytes
+    of the pair by *every* coefficient: ``uint16`` lane ``r`` of ``T[pair]``
+    is ``coefficients[r] * low_byte | (coefficients[r] * high_byte) << 8``
+    — i.e. lane ``r`` is already the output byte pair of row ``r``.  One
+    gather therefore performs up to ``2 * PACK_ROWS`` scalar multiplications
+    and the result de-interleaves with a single ``uint16`` transpose, which
+    is what makes the batched matvec kernel fast: gather cost is per
+    *element*, not per byte of output.
+    """
+    span = len(coefficients)
+    if not 0 < span <= PACK_ROWS:
+        raise ValueError(f"can pack 1..{PACK_ROWS} rows, got {span}")
+    dtype = _PACK_DTYPES[span]
+    table = np.zeros(FIELD_SIZE * FIELD_SIZE, dtype=dtype)
+    for row, coefficient in enumerate(coefficients):
+        products = _MUL_TABLE[coefficient]
+        # Axis 0 is the high byte of the little-endian uint16 index, axis 1
+        # the low byte, so ravel order matches ``uint16 = low | high << 8``.
+        lane = products[None, :].astype(np.uint16) | (
+            products[:, None].astype(np.uint16) << 8
+        )
+        table |= lane.astype(dtype).ravel() << dtype(16 * row)
+    return table
 
 
 def addmul_bytes(accumulator: np.ndarray, coefficient: int, data: np.ndarray) -> None:

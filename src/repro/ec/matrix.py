@@ -1,20 +1,41 @@
-"""Dense matrices over GF(2^8).
+"""Dense matrices over GF(2^8), with batched block kernels.
 
 Matrices are represented as 2-D numpy ``uint8`` arrays.  Only the operations
 that Reed-Solomon coding needs are provided: multiplication, identity,
 Gauss-Jordan inversion, sub-matrix selection, and the Vandermonde / Cauchy
 generator constructions.
+
+The block-application primitive (:func:`matvec_blocks` /
+:class:`BatchedMatvec`) is the erasure-coding hot path: every encode,
+decode and degraded-read reduces to it.  It is implemented as a packed
+pair-indexed table kernel (see :func:`repro.ec.galois.packed_pair_table`):
+the block is viewed as ``uint16`` pairs and one 65536-entry gather yields
+the products of both bytes by up to four matrix rows at once, so gather
+work per output row drops by ~8x compared with one 256-entry gather per
+``(row, column)`` coefficient.  The pre-kernel implementations are retained
+verbatim as ``*_reference`` oracles (the PR-4
+``_recompute_rates_reference`` idiom); the Hypothesis suite
+``tests/property/test_ec_kernel_equivalence.py`` holds the kernels
+byte-identical to them.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.ec import galois
+from repro.ec.galois import _MUL_TABLE, PACK_ROWS, packed_pair_table
 
 
 class SingularMatrixError(ValueError):
     """Raised when a matrix that must be invertible turns out singular."""
+
+
+#: Below this block length the packed kernel's table build is not worth it
+#: and the per-column gather path is used instead.
+PACKED_MIN_BLOCK = 4096
 
 
 def identity(size: int) -> np.ndarray:
@@ -23,7 +44,23 @@ def identity(size: int) -> np.ndarray:
 
 
 def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Multiply two matrices over GF(2^8)."""
+    """Multiply two matrices over GF(2^8).
+
+    One 3-D table gather produces every pairwise product and a single
+    ``bitwise_xor.reduce`` contracts the shared axis; no Python-level loop.
+    """
+    rows_a, cols_a = a.shape
+    rows_b, cols_b = b.shape
+    if cols_a != rows_b:
+        raise ValueError(f"shape mismatch: {a.shape} x {b.shape}")
+    if cols_a == 0:
+        return np.zeros((rows_a, cols_b), dtype=np.uint8)
+    products = _MUL_TABLE[a[:, :, None], b[None, :, :]]
+    return np.bitwise_xor.reduce(products, axis=1)
+
+
+def matmul_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pre-kernel row-by-row multiplication, kept as the equivalence oracle."""
     rows_a, cols_a = a.shape
     rows_b, cols_b = b.shape
     if cols_a != rows_b:
@@ -36,6 +73,125 @@ def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return result
 
 
+class BatchedMatvec:
+    """A matrix compiled for repeated application to byte blocks.
+
+    Compilation splits rows into *unit* rows (exactly one coefficient equal
+    to 1 — the systematic passthrough rows every decode matrix of a
+    systematic code contains), *zero* rows, and *dense* rows.  Unit rows
+    are served by a copy, zero rows by ``zeros``; dense rows are grouped
+    into bands of up to :data:`~repro.ec.galois.PACK_ROWS` and each band
+    gets one packed pair table per column, built lazily on the first
+    large-block apply.  A cached decode plan therefore pays the table cost
+    on its first stripe and pure gather cost on every stripe after that.
+    """
+
+    __slots__ = ("matrix", "_row_kinds", "_dense_rows", "_bands", "_tables")
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        self.matrix = np.ascontiguousarray(matrix, dtype=np.uint8)
+        rows, cols = self.matrix.shape
+        # Per row: ("unit", source column) | ("zero", None) | ("dense", band slot).
+        self._row_kinds: list[tuple[str, int | None]] = []
+        dense: list[int] = []
+        for i in range(rows):
+            row = self.matrix[i]
+            nonzero = np.nonzero(row)[0]
+            if nonzero.size == 0:
+                self._row_kinds.append(("zero", None))
+            elif nonzero.size == 1 and row[nonzero[0]] == 1:
+                self._row_kinds.append(("unit", int(nonzero[0])))
+            else:
+                self._row_kinds.append(("dense", len(dense)))
+                dense.append(i)
+        self._dense_rows = self.matrix[dense] if dense else np.zeros((0, cols), np.uint8)
+        self._bands = [
+            slice(base, min(base + PACK_ROWS, len(dense)))
+            for base in range(0, len(dense), PACK_ROWS)
+        ]
+        self._tables: list[list[np.ndarray]] | None = None
+
+    def _build_tables(self) -> list[list[np.ndarray]]:
+        cols = self.matrix.shape[1]
+        tables = [
+            [packed_pair_table(self._dense_rows[band, j]) for j in range(cols)]
+            for band in self._bands
+        ]
+        self._tables = tables
+        return tables
+
+    def apply(self, blocks: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Apply the matrix to equal-length 1-D uint8 blocks, one per column.
+
+        Returns one fresh array per matrix row (safe to mutate).
+        """
+        rows, cols = self.matrix.shape
+        if len(blocks) != cols:
+            raise ValueError(f"matrix has {cols} columns but got {len(blocks)} blocks")
+        length = len(blocks[0]) if cols else 0
+        for block in blocks:
+            if len(block) != length:
+                raise ValueError("all blocks must have equal length")
+        if rows == 0:
+            return []
+        if cols == 0 or length == 0:
+            return [np.zeros(length, dtype=np.uint8) for _ in range(rows)]
+        if self._bands and length >= PACKED_MIN_BLOCK:
+            dense = self._apply_packed(blocks, length)
+        elif self._bands:
+            dense = self._apply_small(blocks, length)
+        else:
+            dense = []
+        out: list[np.ndarray] = []
+        for kind, slot in self._row_kinds:
+            if kind == "unit":
+                out.append(np.array(blocks[slot], dtype=np.uint8))
+            elif kind == "zero":
+                out.append(np.zeros(length, dtype=np.uint8))
+            else:
+                out.append(dense[slot])
+        return out
+
+    def _apply_packed(self, blocks: Sequence[np.ndarray], length: int) -> list[np.ndarray]:
+        """Packed pair-gather path: one table gather per (band, column)."""
+        tables = self._tables or self._build_tables()
+        pairs = []
+        for block in blocks:
+            if length % 2 or not block.flags.c_contiguous:
+                padded = np.zeros(length + length % 2, dtype=np.uint8)
+                padded[:length] = block
+                block = padded
+            pairs.append(block.view(np.uint16))
+        cols = self.matrix.shape[1]
+        take = np.take
+        dense: list[np.ndarray] = []
+        for band, band_tables in zip(self._bands, tables):
+            accumulator = take(band_tables[0], pairs[0])
+            for j in range(1, cols):
+                accumulator ^= take(band_tables[j], pairs[j])
+            span = band.stop - band.start
+            # uint16 lane r of the accumulator is row r's output byte pair,
+            # so de-interleaving is one uint16 transpose per band (and a
+            # single-row band is already laid out correctly).
+            if accumulator.itemsize == 2:
+                dense.append(accumulator.view(np.uint8)[:length])
+                continue
+            lane_count = accumulator.itemsize // 2
+            rows16 = np.ascontiguousarray(
+                accumulator.view(np.uint16).reshape(-1, lane_count).T[:span]
+            )
+            row_bytes = rows16.view(np.uint8).reshape(span, -1)
+            dense.extend(row_bytes[r, :length] for r in range(span))
+        return dense
+
+    def _apply_small(self, blocks: Sequence[np.ndarray], length: int) -> list[np.ndarray]:
+        """Per-column gather path for payloads too small to amortise tables."""
+        out = np.zeros((self._dense_rows.shape[0], length), dtype=np.uint8)
+        for j in range(self.matrix.shape[1]):
+            out ^= _MUL_TABLE[self._dense_rows[:, j][:, None], blocks[j][None, :]]
+        return list(out)
+
+
 def matvec_blocks(matrix: np.ndarray, blocks: list[np.ndarray]) -> list[np.ndarray]:
     """Apply ``matrix`` to a column vector of byte blocks.
 
@@ -43,6 +199,20 @@ def matvec_blocks(matrix: np.ndarray, blocks: list[np.ndarray]) -> list[np.ndarr
     byte array per matrix row.  This is the generic encode/decode primitive:
     each output block is a GF-linear combination of the input blocks.
     """
+    rows, cols = matrix.shape
+    if cols != len(blocks):
+        raise ValueError(f"matrix has {cols} columns but got {len(blocks)} blocks")
+    if not blocks:
+        return []
+    return BatchedMatvec(matrix).apply(
+        [np.ascontiguousarray(block, dtype=np.uint8) for block in blocks]
+    )
+
+
+def matvec_blocks_reference(
+    matrix: np.ndarray, blocks: list[np.ndarray]
+) -> list[np.ndarray]:
+    """Pre-kernel per-(row, column) accumulation, kept as the oracle."""
     rows, cols = matrix.shape
     if cols != len(blocks):
         raise ValueError(f"matrix has {cols} columns but got {len(blocks)} blocks")
@@ -64,8 +234,38 @@ def matvec_blocks(matrix: np.ndarray, blocks: list[np.ndarray]) -> list[np.ndarr
 def invert(matrix: np.ndarray) -> np.ndarray:
     """Invert a square matrix over GF(2^8) by Gauss-Jordan elimination.
 
-    Raises :class:`SingularMatrixError` if the matrix has no inverse.
+    Pivot selection matches :func:`invert_reference` exactly (first nonzero
+    entry at or below the diagonal), so singular inputs raise
+    :class:`SingularMatrixError` naming the same column; per-column row
+    elimination is a whole-matrix table gather instead of nested loops.
     """
+    size, cols = matrix.shape
+    if size != cols:
+        raise ValueError(f"cannot invert non-square matrix of shape {matrix.shape}")
+    work = np.ascontiguousarray(matrix, dtype=np.uint8).copy()
+    inverse = np.eye(size, dtype=np.uint8)
+    for col in range(size):
+        nonzero = np.nonzero(work[col:, col])[0]
+        if nonzero.size == 0:
+            raise SingularMatrixError(f"matrix is singular at column {col}")
+        pivot_row = col + int(nonzero[0])
+        if pivot_row != col:
+            work[[col, pivot_row]] = work[[pivot_row, col]]
+            inverse[[col, pivot_row]] = inverse[[pivot_row, col]]
+        pivot_scale = _MUL_TABLE[galois.gf_inv(int(work[col, col]))]
+        work[col] = pivot_scale[work[col]]
+        inverse[col] = pivot_scale[inverse[col]]
+        factors = work[:, col].copy()
+        factors[col] = 0
+        # Every remaining row eliminates in one shot; rows whose factor is
+        # zero (including the pivot row itself) xor with zeros.
+        work ^= _MUL_TABLE[factors[:, None], work[col][None, :]]
+        inverse ^= _MUL_TABLE[factors[:, None], inverse[col][None, :]]
+    return inverse
+
+
+def invert_reference(matrix: np.ndarray) -> np.ndarray:
+    """Pre-kernel scalar Gauss-Jordan elimination, kept as the oracle."""
     size, cols = matrix.shape
     if size != cols:
         raise ValueError(f"cannot invert non-square matrix of shape {matrix.shape}")
@@ -113,11 +313,11 @@ def cauchy(x_values: list[int], y_values: list[int]) -> np.ndarray:
     overlap = set(x_values) & set(y_values)
     if overlap:
         raise ValueError(f"x and y values must be disjoint; both contain {overlap}")
-    matrix = np.zeros((len(x_values), len(y_values)), dtype=np.uint8)
-    for i, x in enumerate(x_values):
-        for j, y in enumerate(y_values):
-            matrix[i, j] = galois.gf_inv(x ^ y)
-    return matrix
+    x = np.asarray(x_values, dtype=np.uint8)
+    y = np.asarray(y_values, dtype=np.uint8)
+    if x.size == 0 or y.size == 0:
+        return np.zeros((x.size, y.size), dtype=np.uint8)
+    return galois._INV_TABLE[x[:, None] ^ y[None, :]]
 
 
 def systematic_encoding_matrix(n: int, k: int) -> np.ndarray:

@@ -8,15 +8,32 @@ reads, and the contract the paper's scheduling analysis assumes.
 The implementation is matrix-based: a systematic ``n x k`` generator matrix
 (top ``k`` rows = identity) encodes, and decoding inverts the ``k x k``
 sub-matrix formed by the rows of whichever ``k`` blocks survived.
+
+Decode plans are cached per coder instance: repairing or degraded-reading
+every stripe of a failed node hits the same surviving-index pattern over and
+over, so the sub-matrix inversion (and the compiled
+:class:`~repro.ec.matrix.BatchedMatvec` with its packed gather tables) is
+paid once per pattern, not once per stripe.  Single-block reconstruction
+(:meth:`ReedSolomon.reconstruct_block`) uses a cached one-row plan — one
+``k``-term matvec — instead of a full decode followed by a re-encode.  The
+caches never need invalidation because the generator matrix is immutable
+after construction (:attr:`ReedSolomon.generator_matrix` returns a copy).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.ec import matrix as gfm
+
+#: Maximum cached decode plans (and, separately, single-row plans) per coder.
+#: A node failure exercises at most ``n`` distinct surviving patterns per
+#: lost position, so 128 covers realistic repair sweeps with room to spare.
+PLAN_CACHE_SIZE = 128
 
 
 def _as_byte_array(block: bytes | bytearray | np.ndarray) -> np.ndarray:
@@ -26,6 +43,15 @@ def _as_byte_array(block: bytes | bytearray | np.ndarray) -> np.ndarray:
             raise ValueError("numpy blocks must be 1-D uint8 arrays")
         return block
     return np.frombuffer(bytes(block), dtype=np.uint8)
+
+
+@dataclass
+class _DecodePlan:
+    """A cached decode: the inverted sub-matrix plus its compiled matvec."""
+
+    indices: tuple[int, ...]
+    decode_matrix: np.ndarray
+    matvec: gfm.BatchedMatvec
 
 
 class ReedSolomon:
@@ -44,7 +70,20 @@ class ReedSolomon:
             raise ValueError(f"require 0 < k <= n, got n={n} k={k}")
         self.n = n
         self.k = k
-        self._generator = gfm.systematic_encoding_matrix(n, k)
+        self._generator = self._build_generator()
+        self._encoder: gfm.BatchedMatvec | None = None
+        self._plans: OrderedDict[tuple[int, ...], _DecodePlan] = OrderedDict()
+        self._row_plans: OrderedDict[
+            tuple[int, tuple[int, ...]], gfm.BatchedMatvec
+        ] = OrderedDict()
+        self._plan_hits = 0
+        self._plan_misses = 0
+        self._row_hits = 0
+        self._row_misses = 0
+
+    def _build_generator(self) -> np.ndarray:
+        """Construct the generator matrix; subclasses override the construction."""
+        return gfm.systematic_encoding_matrix(self.n, self.k)
 
     @property
     def parity_count(self) -> int:
@@ -55,6 +94,71 @@ class ReedSolomon:
     def generator_matrix(self) -> np.ndarray:
         """A copy of the ``n x k`` systematic generator matrix."""
         return self._generator.copy()
+
+    def plan_cache_info(self) -> dict[str, int]:
+        """Decode-plan cache statistics (sizes and hit/miss counters)."""
+        return {
+            "plans": len(self._plans),
+            "plan_hits": self._plan_hits,
+            "plan_misses": self._plan_misses,
+            "row_plans": len(self._row_plans),
+            "row_hits": self._row_hits,
+            "row_misses": self._row_misses,
+            "maxsize": PLAN_CACHE_SIZE,
+        }
+
+    def _encoder_plan(self) -> gfm.BatchedMatvec:
+        """The compiled parity-row matvec, built once per coder."""
+        encoder = self._encoder
+        if encoder is None:
+            encoder = self._encoder = gfm.BatchedMatvec(self._generator[self.k :])
+        return encoder
+
+    def _decode_plan(self, indices: tuple[int, ...]) -> _DecodePlan:
+        """Fetch (or invert and cache) the decode plan for a surviving pattern."""
+        plan = self._plans.get(indices)
+        if plan is not None:
+            self._plans.move_to_end(indices)
+            self._plan_hits += 1
+            return plan
+        self._plan_misses += 1
+        sub_matrix = self._generator[list(indices), :]
+        decode_matrix = gfm.invert(sub_matrix)
+        plan = _DecodePlan(indices, decode_matrix, gfm.BatchedMatvec(decode_matrix))
+        self._plans[indices] = plan
+        if len(self._plans) > PLAN_CACHE_SIZE:
+            self._plans.popitem(last=False)
+        return plan
+
+    def _row_plan(
+        self, stripe_index: int, indices: tuple[int, ...]
+    ) -> gfm.BatchedMatvec:
+        """Fetch (or derive and cache) the one-row reconstruction plan.
+
+        The row that rebuilds stripe block ``i`` from survivors ``indices``
+        is row ``i`` of the decode matrix when ``i < k`` (a native), and
+        ``generator[i] @ decode_matrix`` when ``i`` is parity — the re-encode
+        folded into the plan so reconstruction is a single k-term matvec.
+        """
+        key = (stripe_index, indices)
+        plan = self._row_plans.get(key)
+        if plan is not None:
+            self._row_plans.move_to_end(key)
+            self._row_hits += 1
+            return plan
+        self._row_misses += 1
+        decode_matrix = self._decode_plan(indices).decode_matrix
+        if stripe_index < self.k:
+            row = decode_matrix[stripe_index : stripe_index + 1]
+        else:
+            row = gfm.matmul(
+                self._generator[stripe_index : stripe_index + 1], decode_matrix
+            )
+        plan = gfm.BatchedMatvec(row)
+        self._row_plans[key] = plan
+        if len(self._row_plans) > PLAN_CACHE_SIZE:
+            self._row_plans.popitem(last=False)
+        return plan
 
     def encode(self, native_blocks: Sequence[bytes | np.ndarray]) -> list[bytes]:
         """Encode ``k`` equal-length native blocks into ``n - k`` parity blocks.
@@ -68,9 +172,86 @@ class ReedSolomon:
         lengths = {len(array) for array in arrays}
         if len(lengths) > 1:
             raise ValueError(f"native blocks have unequal lengths: {sorted(lengths)}")
-        parity_rows = self._generator[self.k:]
-        parity_arrays = gfm.matvec_blocks(parity_rows, arrays)
+        parity_arrays = self._encoder_plan().apply(arrays)
         return [array.tobytes() for array in parity_arrays]
+
+    def encode_stripes(
+        self, stripes: Sequence[Sequence[bytes | np.ndarray]]
+    ) -> list[list[bytes]]:
+        """Encode many stripes through one batched kernel pass.
+
+        Each stripe holds ``k`` equal-length native blocks; lengths may vary
+        *across* stripes.  Blocks are stacked column-wise into one long
+        array per generator column (short stripes zero-padded to the longest
+        stripe), a single parity matvec runs over the stack, and each
+        stripe's parity is sliced back out.  Zero-padding natives yields a
+        zero parity tail (the code is GF-linear), so the truncated slices
+        are byte-identical to encoding each stripe on its own — property
+        tests in ``tests/property/test_ec_kernel_equivalence.py`` hold this.
+
+        Returns one ``n - k``-entry parity list per input stripe.
+        """
+        if not stripes:
+            return []
+        stripe_arrays: list[list[np.ndarray]] = []
+        lengths: list[int] = []
+        for stripe in stripes:
+            if len(stripe) != self.k:
+                raise ValueError(
+                    f"expected {self.k} native blocks per stripe, got {len(stripe)}"
+                )
+            arrays = [_as_byte_array(block) for block in stripe]
+            stripe_lengths = {len(array) for array in arrays}
+            if len(stripe_lengths) > 1:
+                raise ValueError(
+                    f"native blocks have unequal lengths: {sorted(stripe_lengths)}"
+                )
+            stripe_arrays.append(arrays)
+            lengths.append(len(arrays[0]))
+        coding_length = max(lengths)
+        stacked = np.zeros((self.k, len(stripes) * coding_length), dtype=np.uint8)
+        for position, arrays in enumerate(stripe_arrays):
+            base = position * coding_length
+            for column, array in enumerate(arrays):
+                stacked[column, base : base + lengths[position]] = array
+        parity_stack = self._encoder_plan().apply(list(stacked))
+        result: list[list[bytes]] = []
+        for position, length in enumerate(lengths):
+            base = position * coding_length
+            result.append(
+                [parity[base : base + length].tobytes() for parity in parity_stack]
+            )
+        return result
+
+    def _decode_inputs(
+        self, available: Mapping[int, bytes | np.ndarray]
+    ) -> tuple[tuple[int, ...], list[np.ndarray]]:
+        """Validate survivors and return the chosen indices plus their payloads."""
+        if len(available) < self.k:
+            raise ValueError(
+                f"need at least k={self.k} blocks to decode, got {len(available)}"
+            )
+        indices = tuple(sorted(available)[: self.k])
+        for index in indices:
+            if not 0 <= index < self.n:
+                raise ValueError(f"stripe index {index} out of range [0, {self.n})")
+        arrays = [_as_byte_array(available[index]) for index in indices]
+        lengths = {len(array) for array in arrays}
+        if len(lengths) > 1:
+            raise ValueError(f"blocks have unequal lengths: {sorted(lengths)}")
+        return indices, arrays
+
+    def decode_arrays(
+        self, available: Mapping[int, bytes | np.ndarray]
+    ) -> list[np.ndarray]:
+        """:meth:`decode` without the final ``tobytes`` copies.
+
+        Returns the ``k`` native blocks as fresh uint8 arrays; internal
+        callers that keep working in numpy (the batched codec paths) use
+        this to skip the per-block bytes round-trip.
+        """
+        indices, arrays = self._decode_inputs(available)
+        return self._decode_plan(indices).matvec.apply(arrays)
 
     def decode(self, available: Mapping[int, bytes | np.ndarray]) -> list[bytes]:
         """Reconstruct all ``k`` native blocks from any ``k`` stripe blocks.
@@ -83,22 +264,7 @@ class ReedSolomon:
             entries are required; exactly the first ``k`` sorted by index are
             used, matching the paper's "read from any k surviving nodes".
         """
-        if len(available) < self.k:
-            raise ValueError(
-                f"need at least k={self.k} blocks to decode, got {len(available)}"
-            )
-        indices = sorted(available)[: self.k]
-        for index in indices:
-            if not 0 <= index < self.n:
-                raise ValueError(f"stripe index {index} out of range [0, {self.n})")
-        arrays = [_as_byte_array(available[index]) for index in indices]
-        lengths = {len(array) for array in arrays}
-        if len(lengths) > 1:
-            raise ValueError(f"blocks have unequal lengths: {sorted(lengths)}")
-        sub_matrix = self._generator[indices, :]
-        decode_matrix = gfm.invert(sub_matrix)
-        native_arrays = gfm.matvec_blocks(decode_matrix, arrays)
-        return [array.tobytes() for array in native_arrays]
+        return [array.tobytes() for array in self.decode_arrays(available)]
 
     def reconstruct_block(
         self, stripe_index: int, available: Mapping[int, bytes | np.ndarray]
@@ -106,14 +272,13 @@ class ReedSolomon:
         """Rebuild one block (native or parity) of the stripe.
 
         This is the degraded-read primitive: a degraded task downloads ``k``
-        surviving blocks and reconstructs exactly the lost one.
+        surviving blocks and reconstructs exactly the lost one — a single
+        cached k-term matvec, not a full decode plus re-encode.
         """
         if not 0 <= stripe_index < self.n:
             raise ValueError(f"stripe index {stripe_index} out of range [0, {self.n})")
         if stripe_index in available:
-            return bytes(_as_byte_array(available[stripe_index]).tobytes())
-        natives = self.decode(available)
-        if stripe_index < self.k:
-            return natives[stripe_index]
-        parity = self.encode(natives)
-        return parity[stripe_index - self.k]
+            return _as_byte_array(available[stripe_index]).tobytes()
+        indices, arrays = self._decode_inputs(available)
+        plan = self._row_plan(stripe_index, indices)
+        return plan.apply(arrays)[0].tobytes()

@@ -32,8 +32,8 @@ Example
 
 from __future__ import annotations
 
-import heapq
 from collections.abc import Callable, Generator
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any
 
 
@@ -183,6 +183,19 @@ class Process:
             # An unhandled interrupt terminates the process quietly.
             self.finished.succeed(None)
             return
+        if type(yielded) is Timeout:
+            # Fast path for the dominant yield kind: push the resume entry
+            # inline, skipping the isinstance ladder and the method call.
+            # The tuple is exactly what _schedule_resume would build.
+            # (Timeout is never subclassed; _handle_yield keeps the
+            # isinstance branch for any other caller.)
+            sim = self._sim
+            sim._sequence = seq = sim._sequence + 1
+            _heappush(
+                sim._heap,
+                (sim._now + yielded.delay, seq, "send", self, None, self._epoch),
+            )
+            return
         self._handle_yield(yielded)
 
     def _handle_yield(self, yielded: Any) -> None:
@@ -282,13 +295,30 @@ class Simulator:
     def run(self, until: float | None = None) -> None:
         """Run until the heap drains or virtual time reaches ``until``."""
         heap = self._heap
-        pop = heapq.heappop
+        pop = _heappop
         monitor = self.monitor
         count = 0
         try:
+            if until is None:
+                # Run-to-drain loop: no horizon, so skip the per-entry peek
+                # and bound check entirely.
+                while heap:
+                    time, _, kind, target, payload, epoch = pop(heap)
+                    self._now = time
+                    count += 1
+                    if monitor is not None:
+                        monitor.on_dispatch(time)
+                    if kind == "call":
+                        target()
+                    elif target._epoch == epoch:
+                        # A stale wake-up (the process ran since this entry
+                        # was armed, e.g. a timeout outrun by an interrupt)
+                        # is dropped without resuming the process again.
+                        target._step(kind, payload)
+                return
             while heap:
                 time = heap[0][0]
-                if until is not None and time > until:
+                if time > until:
                     self._now = until
                     return
                 _, _, kind, target, payload, epoch = pop(heap)
@@ -299,9 +329,7 @@ class Simulator:
                 if kind == "call":
                     target()
                 elif target._epoch == epoch:
-                    # A stale wake-up (the process ran since this entry was
-                    # armed, e.g. a timeout outrun by an interrupt) is
-                    # dropped without resuming the process a second time.
+                    # Same stale-wake-up guard as the drain loop above.
                     target._step(kind, payload)
         finally:
             # Batched so the hot loop touches one local instead of an
@@ -319,21 +347,21 @@ class Simulator:
     # -- internal plumbing -------------------------------------------------
 
     def _push(self, time: float, fn: Callable[[], None]) -> None:
-        self._sequence += 1
-        heapq.heappush(self._heap, (time, self._sequence, "call", fn, None, 0))
+        self._sequence = seq = self._sequence + 1
+        _heappush(self._heap, (time, seq, "call", fn, None, 0))
 
     def _schedule_resume(self, process: Process, value: Any, delay: float = 0.0) -> None:
-        self._sequence += 1
-        heapq.heappush(
+        self._sequence = seq = self._sequence + 1
+        _heappush(
             self._heap,
-            (self._now + delay, self._sequence, "send", process, value, process._epoch),
+            (self._now + delay, seq, "send", process, value, process._epoch),
         )
 
     def _schedule_throw(self, process: Process, error: BaseException) -> None:
-        self._sequence += 1
-        heapq.heappush(
+        self._sequence = seq = self._sequence + 1
+        _heappush(
             self._heap,
-            (self._now, self._sequence, "throw", process, error, process._epoch),
+            (self._now, seq, "throw", process, error, process._epoch),
         )
 
     def _add_callback(self, event: Event, fn: Callable[[Any], None]) -> None:

@@ -18,6 +18,7 @@ from repro.storage.block import BlockId
 from repro.storage.degraded import DegradedReadPlanner, SourceSelection
 from repro.storage.namenode import BlockMap
 from repro.storage.placement import make_placement_policy
+from repro.storage.repair import RepairPlan, RepairPlanner
 from repro.testbed.netem import EmulatedNetwork
 
 
@@ -130,9 +131,13 @@ class HdfsRaidFilesystem:
         """
         blocks = self.split_blocks(data)
         num_native = len(blocks)
-        stripes: list[list[bytes]] = []
-        for start in range(0, num_native, self.params.k):
-            stripes.append(self.codec.encode_stripe(blocks[start : start + self.params.k]))
+        # One batched kernel pass produces every stripe's parity at once.
+        stripes = self.codec.encode_stripes(
+            [
+                blocks[start : start + self.params.k]
+                for start in range(0, num_native, self.params.k)
+            ]
+        )
         # The testbed (like the paper's) tolerates node failures only: with
         # 12 slaves and (12,10) stripes the Section III rack rule cannot hold.
         policy = make_placement_policy(
@@ -199,6 +204,39 @@ class HdfsRaidFilesystem:
             block.position, available, lost_length=self._block_lengths.get(block)
         )
         return rebuilt, elapsed
+
+    # -- repair ------------------------------------------------------------
+
+    def repair_failed_nodes(self, failed_nodes: frozenset[int]) -> RepairPlan:
+        """Rebuild every block lost to ``failed_nodes`` with real bytes.
+
+        Plans the reconstruction with :class:`RepairPlanner`, then executes
+        it: for each lost block the ``k`` planned source payloads are read
+        from their stores, the block is rebuilt through the coder (every
+        stripe with the same surviving pattern hits the cached single-row
+        decode plan, so the sub-matrix inversion is paid once per pattern),
+        stored on the planned destination, and reassigned in the block map
+        so subsequent reads find the repaired copy.  Returns the executed
+        plan for traffic accounting.
+        """
+        if self.block_map is None:
+            raise RuntimeError("no file written yet")
+        failed_nodes = frozenset(failed_nodes)
+        planner = RepairPlanner(self.block_map, self.topology)
+        plan = planner.plan(failed_nodes, self.rng)
+        for repair in plan.repairs:
+            available = {
+                source.block.position: self.stores[source.node_id].get(source.block)
+                for source in repair.sources
+            }
+            payload = self.codec.degraded_read(
+                repair.block.position,
+                available,
+                lost_length=self._block_lengths.get(repair.block),
+            )
+            self.stores[repair.destination].put(repair.block, payload)
+            self.block_map.reassign(repair.block, repair.destination)
+        return plan
 
     def stored_blocks_per_node(self) -> dict[int, int]:
         """Blocks held by each node (for load-balance assertions)."""

@@ -1,0 +1,181 @@
+"""Batched GF(2^8) kernels held byte-identical to their scalar references.
+
+The PR-4 reference-oracle idiom: the pre-kernel implementations survive as
+``matvec_blocks_reference`` / ``matmul_reference`` / ``invert_reference``
+and Hypothesis drives both sides across shapes, 0/1 coefficient edge cases,
+zero-length blocks, and lengths straddling the packed-kernel threshold.
+The decode-plan cache is held byte-identical to cold decodes the same way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec import matrix as gfm
+from repro.ec.matrix import PACKED_MIN_BLOCK, SingularMatrixError
+from repro.ec.reed_solomon import ReedSolomon
+
+#: Element strategy biased towards the 0/1 special cases the kernels route
+#: through zero-row / unit-row / copy fast paths.
+gf_elements = st.one_of(st.sampled_from([0, 1]), st.integers(min_value=0, max_value=255))
+
+#: Block lengths spanning the small-gather path, the packed-path threshold,
+#: odd lengths (pair padding), and the zero-length edge case.
+block_lengths = st.sampled_from(
+    [0, 1, 2, 3, 17, 64, PACKED_MIN_BLOCK - 1, PACKED_MIN_BLOCK, PACKED_MIN_BLOCK + 1]
+)
+
+
+@st.composite
+def gf_matrix(draw, min_rows=0, max_rows=5, min_cols=1, max_cols=5, square=False):
+    rows = draw(st.integers(min_value=min_rows, max_value=max_rows))
+    cols = rows if square else draw(st.integers(min_value=min_cols, max_value=max_cols))
+    data = draw(
+        st.lists(
+            st.lists(gf_elements, min_size=cols, max_size=cols),
+            min_size=rows,
+            max_size=rows,
+        )
+    )
+    return np.array(data, dtype=np.uint8).reshape(rows, cols)
+
+
+def random_blocks(count: int, length: int, seed: int) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [rng.integers(0, 256, size=length, dtype=np.uint8) for _ in range(count)]
+
+
+class TestMatvecEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(gf_matrix(), block_lengths, st.integers(min_value=0, max_value=2**31))
+    def test_matches_reference(self, matrix, length, seed):
+        blocks = random_blocks(matrix.shape[1], length, seed)
+        fast = gfm.matvec_blocks(matrix, blocks)
+        slow = gfm.matvec_blocks_reference(matrix, blocks)
+        assert len(fast) == len(slow)
+        for fast_row, slow_row in zip(fast, slow):
+            assert fast_row.dtype == np.uint8
+            assert np.array_equal(fast_row, slow_row)
+
+    @settings(max_examples=20, deadline=None)
+    @given(gf_matrix(min_rows=1), st.integers(min_value=0, max_value=2**31))
+    def test_compiled_plan_reusable(self, matrix, seed):
+        """One compiled BatchedMatvec applied twice gives fresh, equal rows."""
+        plan = gfm.BatchedMatvec(matrix)
+        blocks = random_blocks(matrix.shape[1], PACKED_MIN_BLOCK + 3, seed)
+        first = plan.apply(blocks)
+        second = plan.apply(blocks)
+        oracle = gfm.matvec_blocks_reference(matrix, blocks)
+        for one, two, truth in zip(first, second, oracle):
+            assert np.array_equal(one, truth)
+            assert np.array_equal(two, truth)
+            assert one is not two  # outputs are safe to mutate
+
+    def test_outputs_not_aliased_to_inputs(self):
+        """Unit rows return copies, never views of the caller's blocks."""
+        matrix = np.array([[1, 0], [0, 1], [2, 3]], dtype=np.uint8)
+        blocks = random_blocks(2, 32, seed=7)
+        out = gfm.matvec_blocks(matrix, blocks)
+        out[0][:] = 0
+        assert not np.array_equal(out[0], blocks[0])
+
+
+class TestMatmulEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(gf_matrix(max_rows=5), st.integers(min_value=1, max_value=5), st.data())
+    def test_matches_reference(self, a, cols_b, data):
+        rows_b = a.shape[1]
+        b = data.draw(gf_matrix(min_rows=rows_b, max_rows=rows_b, min_cols=cols_b, max_cols=cols_b))
+        assert np.array_equal(gfm.matmul(a, b), gfm.matmul_reference(a, b))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            gfm.matmul(np.zeros((2, 3), np.uint8), np.zeros((2, 3), np.uint8))
+
+
+class TestInvertEquivalence:
+    @settings(max_examples=80, deadline=None)
+    @given(gf_matrix(min_rows=1, max_rows=6, square=True))
+    def test_matches_reference_including_singular_column(self, matrix):
+        """Both sides invert identically or fail naming the same column."""
+        try:
+            slow = gfm.invert_reference(matrix)
+        except SingularMatrixError as err:
+            with pytest.raises(SingularMatrixError) as caught:
+                gfm.invert(matrix)
+            assert str(caught.value) == str(err)
+        else:
+            fast = gfm.invert(matrix)
+            assert np.array_equal(fast, slow)
+            assert np.array_equal(gfm.matmul(matrix, fast), gfm.identity(len(matrix)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=4))
+    def test_systematic_submatrices_invert(self, k, parity):
+        """Any k rows of the systematic generator stay invertible (MDS)."""
+        generator = gfm.systematic_encoding_matrix(k + parity, k)
+        sub = generator[parity : parity + k]
+        assert np.array_equal(gfm.invert(sub), gfm.invert_reference(sub))
+
+
+@st.composite
+def coder_and_survivors(draw):
+    k = draw(st.integers(min_value=1, max_value=5))
+    parity = draw(st.integers(min_value=1, max_value=3))
+    n = k + parity
+    survivors = tuple(
+        sorted(draw(st.permutations(range(n)))[:k])
+    )
+    return ReedSolomon(n, k), survivors
+
+
+class TestDecodePlanCache:
+    @settings(max_examples=40, deadline=None)
+    @given(coder_and_survivors(), st.integers(min_value=0, max_value=2**31), block_lengths)
+    def test_cache_hit_byte_identical_to_cold_decode(self, coder_survivors, seed, length):
+        coder, survivors = coder_survivors
+        natives = [b.tobytes() for b in random_blocks(coder.k, length, seed)]
+        stripe = natives + coder.encode(natives)
+        available = {index: stripe[index] for index in survivors}
+        cold = ReedSolomon(coder.n, coder.k).decode(available)
+        warm_miss = coder.decode(available)
+        warm_hit = coder.decode(available)
+        assert cold == warm_miss == warm_hit == [bytes(native) for native in natives]
+        info = coder.plan_cache_info()
+        assert info["plan_misses"] == 1
+        assert info["plan_hits"] == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(coder_and_survivors(), st.integers(min_value=0, max_value=2**31))
+    def test_reconstruct_block_warm_equals_cold(self, coder_survivors, seed):
+        coder, survivors = coder_survivors
+        natives = [b.tobytes() for b in random_blocks(coder.k, 37, seed)]
+        stripe = natives + coder.encode(natives)
+        available = {index: stripe[index] for index in survivors}
+        for lost in range(coder.n):
+            if lost in available:
+                continue
+            cold = ReedSolomon(coder.n, coder.k).reconstruct_block(lost, available)
+            warm = coder.reconstruct_block(lost, available)
+            again = coder.reconstruct_block(lost, available)
+            assert cold == warm == again == stripe[lost]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=3),
+        st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=5),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_encode_stripes_matches_per_stripe_encode(self, k, parity, lengths, seed):
+        """Batched stacking + truncation == one encode call per stripe."""
+        coder = ReedSolomon(k + parity, k)
+        stripes = [
+            [b.tobytes() for b in random_blocks(k, length, seed + i)]
+            for i, length in enumerate(lengths)
+        ]
+        batched = coder.encode_stripes(stripes)
+        assert batched == [coder.encode(stripe) for stripe in stripes]

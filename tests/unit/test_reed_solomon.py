@@ -150,3 +150,74 @@ class TestProperties:
         half = len(blob) // 2
         natives = [blob[:half], blob[half : 2 * half]]
         assert coder.encode(natives) == coder.encode(natives)
+
+
+class TestPlanCache:
+    def test_counters_and_sharing(self):
+        """Two losses with one survivor pattern share a single inversion."""
+        coder = ReedSolomon(6, 4)
+        natives = [bytes([i] * 32) for i in range(4)]
+        stripe = make_stripe(coder, natives)
+        available = {i: stripe[i] for i in (1, 2, 3, 4)}
+        coder.reconstruct_block(0, available)
+        coder.reconstruct_block(5, available)
+        info = coder.plan_cache_info()
+        assert info["plan_misses"] == 1  # one pattern, one inversion
+        assert info["row_plans"] == 2
+        assert info["row_misses"] == 2
+        coder.reconstruct_block(0, available)
+        assert coder.plan_cache_info()["row_hits"] == 1
+
+    def test_lru_eviction_bounds_cache(self):
+        from repro.ec.reed_solomon import PLAN_CACHE_SIZE
+
+        coder = ReedSolomon(3, 1)
+        native = [b"\x5a" * 8]
+        stripe = make_stripe(coder, native)
+        patterns = [(0,), (1,), (2,)]
+        for _ in range(PLAN_CACHE_SIZE):
+            for pattern in patterns:
+                available = {index: stripe[index] for index in pattern}
+                assert coder.decode(available) == native
+        info = coder.plan_cache_info()
+        assert info["plans"] == len(patterns) <= PLAN_CACHE_SIZE
+        assert info["plan_hits"] > 0
+
+    def test_decode_arrays_matches_decode(self):
+        import numpy as np
+
+        coder = ReedSolomon(5, 3)
+        natives = [bytes([7 * i + j for j in range(16)]) for i in range(3)]
+        stripe = make_stripe(coder, natives)
+        available = {i: stripe[i] for i in (0, 3, 4)}
+        arrays = coder.decode_arrays(available)
+        assert [array.tobytes() for array in arrays] == coder.decode(available)
+        assert all(array.dtype == np.uint8 for array in arrays)
+
+    def test_reconstruct_available_block_is_verbatim(self):
+        coder = ReedSolomon(4, 2)
+        natives = [b"abcd", b"wxyz"]
+        stripe = make_stripe(coder, natives)
+        available = {i: stripe[i] for i in range(4)}
+        assert coder.reconstruct_block(1, available) == b"wxyz"
+        # No plan work happens for a block that is already present.
+        assert coder.plan_cache_info()["plan_misses"] == 0
+
+
+class TestEncodeStripes:
+    def test_empty_input(self):
+        assert ReedSolomon(4, 2).encode_stripes([]) == []
+
+    def test_wrong_stripe_width(self):
+        coder = ReedSolomon(4, 2)
+        with pytest.raises(ValueError):
+            coder.encode_stripes([[b"ab"]])
+
+    def test_unequal_lengths_within_stripe(self):
+        coder = ReedSolomon(4, 2)
+        with pytest.raises(ValueError):
+            coder.encode_stripes([[b"ab", b"abc"]])
+
+    def test_zero_length_stripes(self):
+        coder = ReedSolomon(4, 2)
+        assert coder.encode_stripes([[b"", b""]]) == [coder.encode([b"", b""])]
