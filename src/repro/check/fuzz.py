@@ -5,7 +5,10 @@ heterogeneity, workload (scripted bursts or realized open-loop Poisson
 arrivals), and a :class:`~repro.faults.schedule.FailureSchedule` of
 fail/recover/slowdown/corrupt churn, either hand-scripted or realized from
 a stochastic failure model (:mod:`repro.faults.models`) at fuzz-scale
-rates -- runs each under every scheduler with an
+rates -- and a *policy* drawn from the full scheduler registry
+(:func:`repro.core.scheduler.registered_schedulers`, so third-party and
+zoo policies are fuzzed the moment they register).  Each scenario runs
+under its drawn policy with an
 :class:`~repro.check.invariants.InvariantMonitor` attached, and treats any
 invariant violation (or unexpected crash) as a finding.  Findings are
 *shrunk* -- schedule events dropped, features disabled, the workload halved
@@ -37,6 +40,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.check.invariants import InvariantMonitor, InvariantViolation, InvariantViolationError
 from repro.cluster.failures import FailurePattern
+from repro.core.scheduler import registered_schedulers
 from repro.cluster.network import gbps, mbps
 from repro.ec.codec import CodeParams
 from repro.faults.errors import DataUnavailableError, JobFailedError
@@ -51,7 +55,11 @@ from repro.mapreduce.config import JobConfig, SimulationConfig
 from repro.mapreduce.serialization import config_from_dict, config_to_dict
 from repro.mapreduce.simulation import run_simulation
 
-#: The scheduler policies every scenario is exercised under.
+#: The paper's scheduler triple.  Kept as a stable constant for callers
+#: that want exactly these three (the property suite always covers them);
+#: scenario *generation* draws its policy from the live registry instead,
+#: so every registered policy -- zoo and third-party included -- gets
+#: fuzzed without touching this tuple.
 SCHEDULERS = ("LF", "BDF", "EDF")
 
 #: Runaway bounds: a fuzz trial exceeding either aborts with a ``runaway``
@@ -127,7 +135,9 @@ def build_scenario(chooser) -> SimulationConfig:
 
     ``chooser`` needs ``randint(low, high)`` (inclusive), ``choice(seq)``,
     ``uniform(low, high)`` and ``random()`` -- the :class:`random.Random`
-    surface.  Scenarios are kept small (seconds per checked trial) and
+    surface.  The scheduler policy is itself a fuzzed axis, drawn from the
+    full registry rather than the paper's hard-coded triple.  Scenarios
+    are kept small (seconds per checked trial) and
     *terminating*: every generated trial either completes or refuses with a
     typed error.  In particular ``wait_for_repair`` -- which parks tasks
     until their data returns -- is only enabled when every failed node is
@@ -244,6 +254,7 @@ def build_scenario(chooser) -> SimulationConfig:
         repair=repair,
         wait_for_repair=wait_for_repair,
         blacklist_threshold=blacklist_threshold,
+        scheduler=chooser.choice(registered_schedulers()),
         seed=chooser.randint(0, 2**31),
     )
 
@@ -502,12 +513,19 @@ def run_fuzz(
     trials: int,
     seed: int = 0,
     corpus_dir: str | None = None,
-    schedulers: tuple[str, ...] = SCHEDULERS,
+    schedulers: tuple[str, ...] | None = None,
     max_dispatch: int = DEFAULT_MAX_DISPATCH,
     max_sim_time: float = DEFAULT_MAX_SIM_TIME,
     progress=None,
 ) -> dict:
-    """Fuzz ``trials`` scenarios under every scheduler; shrink and save findings.
+    """Fuzz ``trials`` scenarios; shrink and save findings.
+
+    By default each scenario runs under its own *drawn* policy -- the
+    scheduler axis is part of generation, sampled from the full registry --
+    so coverage tracks whatever is registered.  Pass ``schedulers`` to
+    instead pin an explicit set and run every scenario under each of them
+    (the pre-registry behaviour, e.g. ``schedulers=SCHEDULERS`` for the
+    paper triple).
 
     Returns a summary dict: trial/outcome counts plus one entry per finding
     (scheduler, signature, first violation, corpus path).  The scenario
@@ -519,7 +537,7 @@ def run_fuzz(
     findings: list[dict] = []
     for trial in range(trials):
         scenario = build_scenario(rng)
-        for scheduler in schedulers:
+        for scheduler in schedulers if schedulers is not None else (scenario.scheduler,):
             report = run_checked_trial(
                 scenario.with_scheduler(scheduler),
                 max_dispatch=max_dispatch,
@@ -545,7 +563,9 @@ def run_fuzz(
     return {
         "trials": trials,
         "seed": seed,
-        "schedulers": list(schedulers),
+        "schedulers": (
+            list(schedulers) if schedulers is not None else "drawn-per-scenario"
+        ),
         "outcomes": outcomes,
         "findings": findings,
     }
@@ -673,7 +693,7 @@ def run_campaign_fuzz(batches: int, seed: int = 0, progress=None) -> dict:
             configs = [
                 SimulationConfig(
                     seed=1000 * batch + index,
-                    scheduler=rng.choice(list(SCHEDULERS)),
+                    scheduler=rng.choice(registered_schedulers()),
                 )
                 for index in range(num_trials)
             ]

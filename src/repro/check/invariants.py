@@ -587,30 +587,36 @@ class InvariantMonitor:
         self._check_guard_consistency(event)
 
     def _check_guard_consistency(self, event: ObsEvent) -> None:
-        """The traced guard verdicts must match the traced quantities."""
+        """The traced guard verdicts must match the traced quantities.
+
+        Each guard is checked independently, and only when its quantities
+        are present: the ablation variants (``EDF-SLAVE`` / ``EDF-RACK``)
+        disable one guard and omit its quantities from the trace -- a
+        verdict with no quantities behind it is "guard disabled", not an
+        inconsistency.
+        """
         fields = event.fields
-        required = ("t_s", "mean_t_s", "slave_ok", "t_r", "mean_t_r", "rack_threshold", "rack_ok")
-        if any(name not in fields for name in required):
-            return
-        expected_slave = fields["t_s"] <= fields["mean_t_s"] + _GUARD_EPS
-        if bool(fields["slave_ok"]) != expected_slave:
-            self._record(
-                event.time,
-                "edf-guard",
-                f"ASSIGNTOSLAVE verdict {fields['slave_ok']} inconsistent with"
-                f" t_s={fields['t_s']!r} E[t_s]={fields['mean_t_s']!r}",
-                node=fields.get("node"),
-            )
-        expected_rack = fields["t_r"] >= min(fields["mean_t_r"], fields["rack_threshold"])
-        if bool(fields["rack_ok"]) != expected_rack:
-            self._record(
-                event.time,
-                "edf-guard",
-                f"ASSIGNTORACK verdict {fields['rack_ok']} inconsistent with"
-                f" t_r={fields['t_r']!r} E[t_r]={fields['mean_t_r']!r}"
-                f" threshold={fields['rack_threshold']!r}",
-                node=fields.get("node"),
-            )
+        if all(name in fields for name in ("t_s", "mean_t_s", "slave_ok")):
+            expected_slave = fields["t_s"] <= fields["mean_t_s"] + _GUARD_EPS
+            if bool(fields["slave_ok"]) != expected_slave:
+                self._record(
+                    event.time,
+                    "edf-guard",
+                    f"ASSIGNTOSLAVE verdict {fields['slave_ok']} inconsistent with"
+                    f" t_s={fields['t_s']!r} E[t_s]={fields['mean_t_s']!r}",
+                    node=fields.get("node"),
+                )
+        if all(name in fields for name in ("t_r", "mean_t_r", "rack_threshold", "rack_ok")):
+            expected_rack = fields["t_r"] >= min(fields["mean_t_r"], fields["rack_threshold"])
+            if bool(fields["rack_ok"]) != expected_rack:
+                self._record(
+                    event.time,
+                    "edf-guard",
+                    f"ASSIGNTORACK verdict {fields['rack_ok']} inconsistent with"
+                    f" t_r={fields['t_r']!r} E[t_r]={fields['mean_t_r']!r}"
+                    f" threshold={fields['rack_threshold']!r}",
+                    node=fields.get("node"),
+                )
 
     # -- stripe conservation -----------------------------------------------------
 

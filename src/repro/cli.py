@@ -8,11 +8,25 @@ Commands
     Run one or more experiments and print their reports.
 ``repro simulate [options]``
     Run a single simulation trial with explicit parameters and print its
-    summary -- handy for quick what-if exploration.
+    summary -- handy for quick what-if exploration.  ``--policy`` (alias
+    ``--scheduler``) accepts any registered policy name.
+``repro policies list``
+    List every registered scheduling policy with a one-line summary
+    (see :mod:`repro.core.scheduler`; third-party policies added via
+    ``register_scheduler`` appear here too).
+``repro tournament [options]``
+    Run every registered policy (or ``--policies``) over a shared scenario
+    set -- fig-7/fig-8 style configurations plus, with ``--corpus``, the
+    fuzzer's corpus -- through the crash-safe campaign engine, and print a
+    ranked leaderboard.  ``--json``/``--html`` export the
+    ``repro.tournament-report/v1`` document and a dashboard; the report is
+    bit-identical across reruns and serial-vs-parallel execution
+    (see :mod:`repro.experiments.tournament`).
 ``repro fuzz --trials N [options]``
-    Generate random scenarios and run every scheduler over them under the
-    invariant sanitizer (see :mod:`repro.check`); failures are shrunk and
-    saved as repro files.
+    Generate random scenarios -- each under a policy drawn from the full
+    registry, or a fixed set via ``--schedulers`` -- and run them under
+    the invariant sanitizer (see :mod:`repro.check`); failures are shrunk
+    and saved as repro files.
 ``repro reliability [options]``
     Run a long-horizon reliability campaign: a stochastic failure model plus
     open-loop Poisson traffic, reporting MTTDL/durability, degraded-read
@@ -114,6 +128,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trials", type=int, default=25, help="scenarios to generate (default 25)"
     )
     fuzz.add_argument("--seed", type=int, default=0, help="scenario-stream seed")
+    fuzz.add_argument(
+        "--schedulers",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated policy names to run every scenario under "
+        "(default: one policy drawn per scenario from the full registry)",
+    )
     fuzz.add_argument(
         "--corpus",
         dest="corpus_dir",
@@ -356,6 +377,101 @@ def _build_parser() -> argparse.ArgumentParser:
         help="the journal to inspect",
     )
 
+    policies = commands.add_parser(
+        "policies", help="inspect the scheduling-policy registry"
+    )
+    policies_commands = policies.add_subparsers(dest="policies_command", required=True)
+    policies_commands.add_parser(
+        "list", help="list registered policies with one-line summaries"
+    )
+
+    tournament = commands.add_parser(
+        "tournament",
+        help="rank every registered policy over a shared scenario set",
+    )
+    tournament.add_argument(
+        "--policies",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated policy names (default: every registered policy)",
+    )
+    tournament.add_argument(
+        "--seeds", type=int, default=3, help="seeds per scenario (default 3)"
+    )
+    tournament.add_argument(
+        "--nodes", type=int, default=40, help="cluster size (default 40)"
+    )
+    tournament.add_argument(
+        "--racks", type=int, default=4, help="rack count (default 4)"
+    )
+    tournament.add_argument("--code", default="20,15", help="n,k (e.g. 20,15)")
+    tournament.add_argument(
+        "--blocks",
+        type=int,
+        default=1440,
+        help="input blocks per job (default 1440; lower for quick runs)",
+    )
+    tournament.add_argument(
+        "--corpus",
+        dest="corpus_dir",
+        metavar="DIR",
+        default=None,
+        help="also race the policies over every fuzzer-corpus scenario "
+        "in this directory (e.g. tests/corpus)",
+    )
+    tournament.add_argument(
+        "--check",
+        action="store_true",
+        help="run every trial under the invariant sanitizer; violations "
+        "surface as trial failures in the report",
+    )
+    tournament.add_argument(
+        "--json",
+        dest="json_path",
+        metavar="FILE",
+        help="also write the ranked repro.tournament-report/v1 JSON "
+        "(bit-identical across reruns)",
+    )
+    tournament.add_argument(
+        "--html",
+        dest="html_path",
+        metavar="FILE",
+        help="also write the leaderboard as a self-contained HTML dashboard",
+    )
+    tournament.add_argument(
+        "--journal",
+        dest="journal_path",
+        metavar="FILE",
+        help="write-ahead JSONL journal; re-running with the same journal "
+        "skips finished trials (crash-safe resume)",
+    )
+    tournament.add_argument(
+        "--cache-dir",
+        dest="cache_dir",
+        metavar="DIR",
+        help="content-addressed result cache shared across tournaments",
+    )
+    tournament.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="re-attempts per trial after the first try (default 2)",
+    )
+    tournament.add_argument(
+        "--trial-timeout",
+        dest="trial_timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per trial attempt",
+    )
+    tournament.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pool width (default: REPRO_WORKERS or every core)",
+    )
+
     simulate = commands.add_parser("simulate", help="run one simulation trial")
     simulate.add_argument(
         "--check",
@@ -371,7 +487,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "(other flags are ignored except --timeline/--json)",
     )
     simulate.add_argument(
-        "--scheduler", default="EDF", type=str.upper, choices=["LF", "BDF", "EDF"]
+        "--scheduler",
+        "--policy",
+        dest="scheduler",
+        default="EDF",
+        help="any registered policy name, case-insensitive "
+        "(see 'repro policies list'; default EDF)",
     )
     simulate.add_argument("--nodes", type=int, default=40)
     simulate.add_argument("--racks", type=int, default=4)
@@ -826,6 +947,131 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 1 if report["failures"] else 0
 
 
+def _cmd_policies(args: argparse.Namespace) -> int:
+    from repro.core.scheduler import POLICIES
+
+    if args.policies_command == "list":
+        for name, summary in POLICIES.catalog():
+            print(f"{name:<14} {summary}")
+        return 0
+    raise AssertionError(f"unhandled policies command {args.policies_command}")
+
+
+def _cmd_tournament(args: argparse.Namespace) -> int:
+    import contextlib
+    import os
+
+    from repro.core.scheduler import POLICIES
+    from repro.experiments.campaign import (
+        CampaignInterrupted,
+        CampaignPolicy,
+        Journal,
+    )
+    from repro.experiments.tournament import (
+        TournamentSpec,
+        corpus_scenarios,
+        default_scenarios,
+        render_leaderboard,
+        report_to_json,
+        run_tournament,
+    )
+    from repro.mapreduce.config import JobConfig, SimulationConfig
+
+    try:
+        n_text, k_text = args.code.split(",")
+        code = CodeParams(int(n_text), int(k_text))
+    except ValueError as error:
+        print(f"bad --code value {args.code!r}: {error}", file=sys.stderr)
+        return 2
+    try:
+        if args.policies:
+            names = tuple(
+                POLICIES.resolve(name.strip())
+                for name in args.policies.split(",")
+                if name.strip()
+            )
+        else:
+            names = ()
+        base = SimulationConfig(
+            num_nodes=args.nodes,
+            num_racks=args.racks,
+            code=code,
+            jobs=(JobConfig(num_blocks=args.blocks),),
+        )
+        scenarios = default_scenarios(base)
+        if args.corpus_dir:
+            scenarios = scenarios + corpus_scenarios(args.corpus_dir)
+        spec = TournamentSpec(
+            scenarios=scenarios,
+            policies=names,
+            seeds=tuple(range(args.seeds)),
+        )
+        policy = CampaignPolicy(
+            retries=args.retries,
+            trial_timeout=args.trial_timeout,
+            workers=args.workers,
+            on_error="collect",
+        )
+    except (OSError, ValueError) as error:
+        print(f"bad tournament options: {error}", file=sys.stderr)
+        return 2
+
+    journal_path = args.journal_path
+    if journal_path:
+        if os.path.exists(journal_path) and Journal.load(journal_path).records:
+            print(f"resuming tournament from journal {journal_path!r}")
+
+    cache = None
+    if args.cache_dir:
+        from repro import __version__
+        from repro.experiments.cache import ResultCache
+
+        cache = ResultCache(directory=args.cache_dir, code_version=__version__)
+
+    def progress(index: int, status: str, attempts: int) -> None:
+        retried = f" (attempt {attempts})" if attempts > 1 else ""
+        print(f"trial {index:4d}: {status}{retried}")
+
+    env = {"REPRO_CHECK": "1"} if args.check else {}
+    previous = {name: os.environ.get(name) for name in env}
+    os.environ.update(env)
+    try:
+        report, _outcome = run_tournament(
+            spec,
+            policy=policy,
+            journal_path=journal_path,
+            cache=cache,
+            progress=progress,
+        )
+    except CampaignInterrupted as stop:
+        print(_interrupted_message(stop, journal_path), file=sys.stderr)
+        return 5
+    finally:
+        for name, value in previous.items():
+            with contextlib.suppress(KeyError):
+                del os.environ[name]
+            if value is not None:
+                os.environ[name] = value
+    print(render_leaderboard(report))
+    if args.json_path and not _write_output(args.json_path, report_to_json(report)):
+        return 2
+    if args.json_path:
+        print(f"tournament report written to {args.json_path}")
+    if args.html_path:
+        from repro.obs import report_html
+
+        if not _write_output(args.html_path, report_html(report)):
+            return 2
+        print(f"leaderboard dashboard written to {args.html_path}")
+    if cache is not None:
+        stats = cache.stats
+        print(
+            f"cache: {stats.hits} hit(s), {stats.misses} miss(es), "
+            f"{stats.corrupt} corrupt, {stats.stores} store(s)"
+        )
+    return 1 if report["failures"] else 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.mapreduce.config import JobConfig, SimulationConfig
 
@@ -834,6 +1080,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
         config = load_config(args.config_path)
         return _report_simulation(args, config)
+    from repro.core.scheduler import POLICIES
+
+    try:
+        scheduler = POLICIES.resolve(args.scheduler)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     try:
         n_text, k_text = args.code.split(",")
         code = CodeParams(int(n_text), int(k_text))
@@ -879,7 +1132,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         speculative=args.speculative,
         repair=repair,
         wait_for_repair=args.wait_for_repair,
-        scheduler=args.scheduler,
+        scheduler=scheduler,
         seed=args.seed,
     )
     return _report_simulation(args, config)
@@ -983,6 +1236,19 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     if args.trials <= 0:
         print(f"--trials must be positive, got {args.trials}", file=sys.stderr)
         return 2
+    schedulers = None
+    if args.schedulers:
+        from repro.core.scheduler import POLICIES
+
+        try:
+            schedulers = tuple(
+                POLICIES.resolve(name.strip())
+                for name in args.schedulers.split(",")
+                if name.strip()
+            )
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
 
     def progress(trial: int, report) -> None:
         print(f"trial {trial:4d} {report.scheduler:>3}: {report.status}")
@@ -991,6 +1257,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         args.trials,
         seed=args.seed,
         corpus_dir=args.corpus_dir,
+        schedulers=schedulers,
         max_dispatch=(
             args.max_dispatch if args.max_dispatch is not None else DEFAULT_MAX_DISPATCH
         ),
@@ -1221,6 +1488,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_reliability(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "policies":
+        return _cmd_policies(args)
+    if args.command == "tournament":
+        return _cmd_tournament(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
     if args.command == "obs":

@@ -3,27 +3,58 @@
 * :mod:`repro.core.tasks` -- per-job bookkeeping of unassigned map tasks,
   split into normal (local/remote) and degraded pools, with the launch
   counters ``m``, ``M``, ``m_d``, ``M_d`` used by the pacing rule.
-* :mod:`repro.core.scheduler` -- the heartbeat-driven scheduler interface
-  and shared reduce-slot assignment.
+* :mod:`repro.core.scheduler` -- the heartbeat-driven scheduler interface,
+  shared reduce-slot assignment, and the :class:`PolicyRegistry` every
+  policy lookup goes through.
 * :mod:`repro.core.locality_first` -- Algorithm 1 (Hadoop default, LF).
 * :mod:`repro.core.degraded_first` -- Algorithm 2 (basic degraded-first, BDF).
 * :mod:`repro.core.enhanced` -- Algorithm 3 (enhanced degraded-first, EDF)
   with locality preservation (``ASSIGNTOSLAVE``) and rack awareness
   (``ASSIGNTORACK``).
+* :mod:`repro.core.extras` -- ablation variants isolating each design choice.
+* :mod:`repro.core.zoo` -- the scheduler zoo: RANDOM/FIFO baselines,
+  work-stealing, critical-path, task-cloning and heterogeneity-aware
+  policies beyond the paper's three.
 """
 
 from repro.core.degraded_first import BasicDegradedFirstScheduler
 from repro.core.enhanced import EnhancedDegradedFirstScheduler
 from repro.core.locality_first import LocalityFirstScheduler
-from repro.core.scheduler import Scheduler, SchedulerContext, make_scheduler
+from repro.core.scheduler import (
+    POLICIES,
+    PolicyRegistry,
+    Scheduler,
+    SchedulerContext,
+    make_scheduler,
+    register_scheduler,
+    registered_schedulers,
+)
 from repro.core.tasks import JobTaskState
+from repro.core.zoo import (
+    CriticalPathScheduler,
+    FifoScheduler,
+    HeterogeneityAwareScheduler,
+    RandomScheduler,
+    TaskCloningScheduler,
+    WorkStealingScheduler,
+)
 
 __all__ = [
+    "POLICIES",
     "BasicDegradedFirstScheduler",
+    "CriticalPathScheduler",
     "EnhancedDegradedFirstScheduler",
+    "FifoScheduler",
+    "HeterogeneityAwareScheduler",
     "JobTaskState",
     "LocalityFirstScheduler",
+    "PolicyRegistry",
+    "RandomScheduler",
     "Scheduler",
     "SchedulerContext",
+    "TaskCloningScheduler",
+    "WorkStealingScheduler",
     "make_scheduler",
+    "register_scheduler",
+    "registered_schedulers",
 ]

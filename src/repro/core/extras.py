@@ -35,7 +35,7 @@ class EagerDegradedScheduler(Scheduler):
     name = "EAGER"
 
     def assign_maps(self, slave_id, free_map_slots, jobs, now):
-        del now
+        tracing = self.bus is not None
         assignments: list[MapAssignment] = []
         for job in jobs:
             while free_map_slots > 0:
@@ -48,6 +48,13 @@ class EagerDegradedScheduler(Scheduler):
                     break
                 assignments.append(assignment)
                 free_map_slots -= 1
+                if tracing:
+                    self.trace_decision(
+                        now, slave_id, job_id=job.job_id,
+                        action="assign", reason="eager",
+                        category=assignment.category.value,
+                        block=str(assignment.block),
+                    )
             if free_map_slots == 0:
                 break
         return assignments
@@ -65,10 +72,12 @@ class UncappedDegradedFirstScheduler(Scheduler):
     name = "BDF-UNCAPPED"
 
     def assign_maps(self, slave_id, free_map_slots, jobs, now):
-        del now
+        tracing = self.bus is not None
         assignments: list[MapAssignment] = []
         for job in jobs:
             while free_map_slots > 0:
+                # Pacing state is captured before any pop mutates m/m_d.
+                pacing = self.pacing_fields(job) if tracing else {}
                 assignment = None
                 if job.has_unassigned_degraded() and pacing_allows_degraded(job):
                     assignment = self._try_degraded(job, slave_id)
@@ -80,25 +89,57 @@ class UncappedDegradedFirstScheduler(Scheduler):
                     break
                 assignments.append(assignment)
                 free_map_slots -= 1
+                if tracing:
+                    self.trace_decision(
+                        now, slave_id, job_id=job.job_id,
+                        action="assign", reason="uncapped",
+                        category=assignment.category.value,
+                        block=str(assignment.block),
+                        **pacing,
+                    )
             if free_map_slots == 0:
                 break
         return assignments
 
 
-class SlaveGuardOnlyScheduler(EnhancedDegradedFirstScheduler):
+class _DisabledGuardTrace:
+    """Scrub a disabled guard's quantities from the decision trace.
+
+    The single-guard ablations force one guard verdict to ``True`` without
+    evaluating it, but EDF's tracing path records the raw quantities behind
+    both guards.  The sanitizer cross-checks verdicts against quantities
+    (``edf-guard``), so a forced verdict next to never-consulted numbers
+    would read as a lying trace.  Dropping the disabled guard's quantities
+    keeps the trace honest: verdict present, nothing claiming to justify it.
+    """
+
+    #: Trace fields of the guard this ablation disables.
+    _disabled_quantities: tuple[str, ...] = ()
+
+    def _degraded_guards(self, job: JobTaskState, slave_id: int, now: float) -> bool:
+        verdict = super()._degraded_guards(job, slave_id, now)
+        if self.last_guard_trace:
+            for name in self._disabled_quantities:
+                self.last_guard_trace.pop(name, None)
+        return verdict
+
+
+class SlaveGuardOnlyScheduler(_DisabledGuardTrace, EnhancedDegradedFirstScheduler):
     """EDF with locality preservation only (rack awareness disabled)."""
 
     name = "EDF-SLAVE"
+    _disabled_quantities = ("t_r", "mean_t_r", "rack_threshold")
 
     def assign_to_rack(self, rack_id: int, now: float) -> bool:
         del rack_id, now
         return True
 
 
-class RackGuardOnlyScheduler(EnhancedDegradedFirstScheduler):
+class RackGuardOnlyScheduler(_DisabledGuardTrace, EnhancedDegradedFirstScheduler):
     """EDF with rack awareness only (locality preservation disabled)."""
 
     name = "EDF-RACK"
+    _disabled_quantities = ("t_s", "mean_t_s")
 
     def assign_to_slave(self, job: JobTaskState, slave_id: int) -> bool:
         del job, slave_id
@@ -128,11 +169,13 @@ class DelayScheduler(Scheduler):
         self._first_skip_at: dict[int, float] = {}
 
     def assign_maps(self, slave_id, free_map_slots, jobs, now):
+        tracing = self.bus is not None
         assignments: list[MapAssignment] = []
         for job in jobs:
             while free_map_slots > 0:
                 assignment = self._try_local(job, slave_id)
-                if assignment is None and self._delay_expired(job, now):
+                delayed = assignment is None
+                if delayed and self._delay_expired(job, now):
                     assignment = self._try_remote(job, slave_id) or self._try_degraded(
                         job, slave_id
                     )
@@ -142,6 +185,14 @@ class DelayScheduler(Scheduler):
                     self._first_skip_at.pop(job.job_id, None)
                 assignments.append(assignment)
                 free_map_slots -= 1
+                if tracing:
+                    self.trace_decision(
+                        now, slave_id, job_id=job.job_id,
+                        action="assign",
+                        reason="delay-expired" if delayed else "local",
+                        category=assignment.category.value,
+                        block=str(assignment.block),
+                    )
             if free_map_slots == 0:
                 break
         return assignments

@@ -32,14 +32,34 @@ class SchedulerContext:
     topology:
         The cluster layout.
     live_nodes:
-        Node ids that are up (failed nodes never heartbeat).
+        Node ids that are up (failed nodes never heartbeat).  The master
+        mutates this set in place on failure/recovery, so policies always
+        see the current membership.
     expected_degraded_read_time:
         The analysis estimate ``(R-1) k S / (R W)`` used as the
-        rack-awareness threshold in EDF.
+        rack-awareness threshold in EDF.  Computed once at trial start and
+        *intentionally* never recomputed when the live-node count changes
+        mid-trial: every term -- rack count ``R``, stripe width ``k``,
+        block size ``S``, cross-rack bandwidth ``W`` -- is a static
+        property of the cluster and the code, not of which nodes happen to
+        be up, so there is nothing to recompute (a surviving node doing a
+        degraded read still fans in over ``k`` surviving-rack sources and
+        still shares the same rack downlink).  A regression test pins this
+        (``tests/unit/test_context_view.py``).
     map_time_mean:
         Mean map processing time, used to estimate local backlogs.
     reduce_slowstart:
         Fraction of maps that must complete before reducers launch.
+
+    Beyond the raw fields, the context offers the *cluster view* helpers a
+    policy needs to make global decisions: per-node backlog estimates
+    (:meth:`node_backlog`, :meth:`node_backlog_time`), rack occupancy
+    (:meth:`rack_occupancy`), a degraded-task census
+    (:meth:`degraded_census`), and node-capability lookups
+    (:meth:`speed_factor`, :meth:`map_slots_of`, :meth:`mean_speed_factor`).
+    All of them are pure queries over ``topology`` and the jobs passed in --
+    they never mutate scheduling state, so calling them cannot perturb a
+    trial.
     """
 
     topology: ClusterTopology
@@ -47,6 +67,52 @@ class SchedulerContext:
     expected_degraded_read_time: float
     map_time_mean: float
     reduce_slowstart: float
+
+    # -- cluster-view helpers ---------------------------------------------------
+
+    def speed_factor(self, node_id: int) -> float:
+        """Relative processing speed of ``node_id`` (1.0 = baseline)."""
+        return self.topology.node(node_id).speed_factor
+
+    def map_slots_of(self, node_id: int) -> int:
+        """Configured map slots of ``node_id`` (at least 1 for estimates)."""
+        return max(self.topology.node(node_id).map_slots, 1)
+
+    def mean_speed_factor(self) -> float:
+        """Mean speed factor over live nodes (1.0 on an empty cluster)."""
+        live = self.live_nodes
+        if not live:
+            return 1.0
+        return sum(self.speed_factor(node_id) for node_id in live) / len(live)
+
+    def node_backlog(self, jobs: list[JobTaskState], node_id: int) -> int:
+        """Pending node-local map tasks stored on ``node_id``, over all jobs."""
+        return sum(job.pending_node_local_count(node_id) for job in jobs)
+
+    def node_backlog_time(self, jobs: list[JobTaskState], node_id: int) -> float:
+        """Estimated seconds for ``node_id`` to drain its local backlog.
+
+        ``backlog * T / (slots * speed)`` -- the same estimate EDF's
+        locality-preservation guard uses, summed across jobs.
+        """
+        backlog = self.node_backlog(jobs, node_id)
+        node = self.topology.node(node_id)
+        slots = max(node.map_slots, 1)
+        return backlog * self.map_time_mean / (slots * node.speed_factor)
+
+    def rack_occupancy(self, jobs: list[JobTaskState]) -> dict[int, int]:
+        """Pending normal (non-degraded) map tasks per rack, over all jobs."""
+        occupancy: dict[int, int] = {
+            rack.rack_id: 0 for rack in self.topology.racks
+        }
+        for job in jobs:
+            for rack_id in occupancy:
+                occupancy[rack_id] += job.pending_rack_count(rack_id)
+        return occupancy
+
+    def degraded_census(self, jobs: list[JobTaskState]) -> dict[int, int]:
+        """Pending (unassigned) degraded map tasks per job id."""
+        return {job.job_id: job.pending_degraded_count() for job in jobs}
 
 
 class Scheduler(ABC):
@@ -166,53 +232,122 @@ class Scheduler(ABC):
         return self._make_map_assignment(job, slave_id, block, MapTaskCategory.DEGRADED)
 
 
-#: Populated by _ensure_builtins on first use to avoid import cycles.
-_REGISTRY: dict[str, type[Scheduler]] = {}
+class PolicyRegistry:
+    """Name → scheduler-class registry behind every policy lookup.
+
+    One shared instance (:data:`POLICIES`) backs ``SimulationConfig``
+    validation, the CLI (``--policy`` / ``repro policies list``), the
+    testbed, the fuzzer's policy axis and the tournament harness.  Built-in
+    policies load lazily on first use (avoiding import cycles); third-party
+    policies join via :meth:`register` and are then accepted everywhere a
+    policy name is -- and covered by the conformance suite for free.
+    """
+
+    def __init__(self) -> None:
+        self._by_name: dict[str, type[Scheduler]] = {}
+        self._builtins_loaded = False
+
+    # -- population -------------------------------------------------------------
+
+    def _ensure_builtins(self) -> None:
+        if self._builtins_loaded:
+            return
+        from repro.core.degraded_first import BasicDegradedFirstScheduler
+        from repro.core.enhanced import EnhancedDegradedFirstScheduler
+        from repro.core.extras import ABLATION_SCHEDULERS
+        from repro.core.locality_first import LocalityFirstScheduler
+        from repro.core.zoo import ZOO_SCHEDULERS
+
+        for scheduler_cls in (
+            LocalityFirstScheduler,
+            BasicDegradedFirstScheduler,
+            EnhancedDegradedFirstScheduler,
+            *ABLATION_SCHEDULERS,
+            *ZOO_SCHEDULERS,
+        ):
+            self._by_name.setdefault(scheduler_cls.name, scheduler_cls)
+        self._builtins_loaded = True
+
+    def register(self, scheduler_cls: type[Scheduler]) -> None:
+        """Add a scheduler class under its ``name`` attribute.
+
+        Rejects the abstract/empty name and name collisions with a
+        different class; re-registering the same class is a no-op.
+        """
+        self._ensure_builtins()
+        if not scheduler_cls.name or scheduler_cls.name == Scheduler.name:
+            raise ValueError("custom schedulers must set a distinct `name` attribute")
+        existing = self._by_name.get(scheduler_cls.name)
+        if existing is not None and existing is not scheduler_cls:
+            raise ValueError(f"scheduler name {scheduler_cls.name!r} is already taken")
+        self._by_name[scheduler_cls.name] = scheduler_cls
+
+    # -- lookup -----------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        """Registered policy names, sorted."""
+        self._ensure_builtins()
+        return sorted(self._by_name)
+
+    def resolve(self, name: str) -> str:
+        """Canonical registered name for ``name``, matched case-insensitively.
+
+        Raises ``ValueError`` for unknown names, listing the alternatives.
+        """
+        self._ensure_builtins()
+        if name in self._by_name:
+            return name
+        folded = name.casefold()
+        for registered in self._by_name:
+            if registered.casefold() == folded:
+                return registered
+        raise ValueError(
+            f"unknown scheduler {name!r}; choose from {sorted(self._by_name)}"
+        )
+
+    def get(self, name: str) -> type[Scheduler]:
+        """The scheduler class registered under ``name`` (exact match)."""
+        self._ensure_builtins()
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown scheduler {name!r}; choose from {sorted(self._by_name)}"
+            ) from None
+
+    def create(self, name: str, context: SchedulerContext) -> Scheduler:
+        """Instantiate the policy registered under ``name``."""
+        return self.get(name)(context)
+
+    def describe(self, name: str) -> str:
+        """One-line summary of a policy (first line of its class docstring)."""
+        doc = self.get(name).__doc__ or ""
+        return doc.strip().splitlines()[0] if doc.strip() else ""
+
+    def catalog(self) -> list[tuple[str, str]]:
+        """``(name, summary)`` pairs for every registered policy, sorted."""
+        return [(name, self.describe(name)) for name in self.names()]
 
 
-def _ensure_builtins() -> None:
-    if "LF" in _REGISTRY:
-        return
-    from repro.core.degraded_first import BasicDegradedFirstScheduler
-    from repro.core.enhanced import EnhancedDegradedFirstScheduler
-    from repro.core.extras import ABLATION_SCHEDULERS
-    from repro.core.locality_first import LocalityFirstScheduler
-
-    for scheduler_cls in (
-        LocalityFirstScheduler,
-        BasicDegradedFirstScheduler,
-        EnhancedDegradedFirstScheduler,
-        *ABLATION_SCHEDULERS,
-    ):
-        _REGISTRY.setdefault(scheduler_cls.name, scheduler_cls)
+#: The process-wide policy registry.
+POLICIES = PolicyRegistry()
 
 
 def register_scheduler(scheduler_cls: type[Scheduler]) -> None:
     """Add a custom scheduler class to the registry under its ``name``.
 
     Once registered, the name is accepted anywhere a scheduler name is
-    (``SimulationConfig.scheduler``, the testbed, the CLI).
+    (``SimulationConfig.scheduler``, the testbed, the CLI) and the policy
+    is automatically exercised by the conformance suite and tournament.
     """
-    _ensure_builtins()
-    if not scheduler_cls.name or scheduler_cls.name == Scheduler.name:
-        raise ValueError("custom schedulers must set a distinct `name` attribute")
-    existing = _REGISTRY.get(scheduler_cls.name)
-    if existing is not None and existing is not scheduler_cls:
-        raise ValueError(f"scheduler name {scheduler_cls.name!r} is already taken")
-    _REGISTRY[scheduler_cls.name] = scheduler_cls
+    POLICIES.register(scheduler_cls)
 
 
 def registered_schedulers() -> list[str]:
     """Names currently accepted by :func:`make_scheduler`."""
-    _ensure_builtins()
-    return sorted(_REGISTRY)
+    return POLICIES.names()
 
 
 def make_scheduler(name: str, context: SchedulerContext) -> Scheduler:
-    """Instantiate a scheduler by registry name (``LF``, ``BDF``, ``EDF``)."""
-    _ensure_builtins()
-    try:
-        scheduler_cls = _REGISTRY[name]
-    except KeyError:
-        raise ValueError(f"unknown scheduler {name!r}; choose from {sorted(_REGISTRY)}")
-    return scheduler_cls(context)
+    """Instantiate a scheduler by registry name (``LF``, ``BDF``, ``EDF``, ...)."""
+    return POLICIES.create(name, context)

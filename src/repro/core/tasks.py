@@ -132,6 +132,14 @@ class JobTaskState:
         queue = self._pending_by_node.get(node_id)
         return len(queue) if queue else 0
 
+    def pending_rack_count(self, rack_id: int) -> int:
+        """Unassigned normal map tasks whose block lives in ``rack_id``."""
+        return self._pending_per_rack.get(rack_id, 0)
+
+    def pending_degraded_count(self) -> int:
+        """Unassigned degraded map tasks awaiting launch."""
+        return len(self._pending_degraded)
+
     # -- pool pops (assignment) ----------------------------------------------
 
     def pop_local(self, slave_id: int) -> tuple[BlockId, bool] | None:
@@ -170,6 +178,19 @@ class JobTaskState:
                 if queue:
                     return self._take(node_id, queue)
         return None
+
+    def pop_from_node(self, node_id: int) -> BlockId | None:
+        """Take an unassigned normal task stored on ``node_id``, or None.
+
+        Unlike :meth:`pop_local`/:meth:`pop_remote` this names the *home*
+        node directly, so policies that pick a source node globally (FIFO
+        scan order, work-stealing victims) share the same counter-updating
+        path as the locality-driven pops.
+        """
+        queue = self._pending_by_node.get(node_id)
+        if not queue:
+            return None
+        return self._take(node_id, queue)
 
     def pop_degraded(self) -> BlockId | None:
         """Take an unassigned degraded task (file order)."""

@@ -1,0 +1,302 @@
+"""Policy tournament: every registered scheduler over a shared scenario set.
+
+The tournament is the research-platform payoff of the policy framework
+(ROADMAP item 1): take a scenario set -- figure-7/figure-8 style
+configurations plus, optionally, the fuzzer's corpus -- and run *every*
+policy over every scenario and seed through the crash-safe campaign engine
+(journaled, cached, resumable).  Per-policy makespan and degraded-read
+:class:`~repro.obs.digest.LatencyDigest` aggregates feed a ranked
+leaderboard emitted as a ``repro.tournament-report/v1`` JSON document and
+an HTML dashboard (``repro obs report``).
+
+Determinism contract: the trial grid is in canonical order
+(scenario-major, then seed, then policy) and digests merge in grid order,
+so the ranked report is bit-identical across reruns and across
+serial-vs-parallel execution -- the same property the campaign layer
+guarantees, inherited wholesale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field, replace
+
+from repro.core.scheduler import registered_schedulers
+from repro.experiments.cache import ResultCache
+from repro.experiments.campaign import (
+    CampaignEngine,
+    CampaignOutcome,
+    CampaignPolicy,
+    sweep_trial,
+)
+from repro.mapreduce.config import SimulationConfig
+from repro.mapreduce.serialization import config_to_dict
+from repro.obs.digest import LatencyDigest
+
+#: Schema tag of the ranked tournament report.
+TOURNAMENT_SCHEMA = "repro.tournament-report/v1"
+
+
+def default_scenarios(
+    base: SimulationConfig | None = None,
+) -> tuple[tuple[str, SimulationConfig], ...]:
+    """The built-in scenario set, derived from the paper's fig-7/fig-8 axes.
+
+    Every scenario is a variation of ``base`` (the paper's default cluster
+    when omitted): the default single-node-failure run, the halved block
+    size and rack-failure points of Figure 7, the half-speed-nodes
+    heterogeneous cluster of Figure 8, and the ten-job open stream of
+    Figure 7(f).  Names are stable identifiers used in reports and
+    journals.
+    """
+    from repro.experiments.fig7_simulation import multi_job_config
+
+    if base is None:
+        base = SimulationConfig()
+    half_block = replace(base, block_size=base.block_size / 2)
+    heterogeneous = replace(
+        base,
+        speed_factors=tuple(
+            1.0 if index % 2 == 0 else 0.5 for index in range(base.num_nodes)
+        ),
+    )
+    from repro.cluster.failures import FailurePattern
+
+    return (
+        ("fig7-default", base),
+        ("fig7-half-block", half_block),
+        ("fig7-rack-failure", replace(base, failure=FailurePattern.RACK)),
+        ("fig8-heterogeneous", heterogeneous),
+        ("fig7f-multi-job", multi_job_config(base, 0)),
+    )
+
+
+def corpus_scenarios(corpus_dir: str) -> tuple[tuple[str, SimulationConfig], ...]:
+    """Fuzzer-corpus scenarios: one per repro JSON, sorted by file name.
+
+    The corpus entry's own scheduler is ignored -- the tournament runs
+    *every* policy over each scenario; its embedded seed is likewise
+    overridden by the tournament's seed axis.
+    """
+    from repro.check.fuzz import load_repro
+
+    scenarios = []
+    for name in sorted(os.listdir(corpus_dir)):
+        if not name.endswith(".json"):
+            continue
+        config, _scheduler = load_repro(os.path.join(corpus_dir, name))
+        scenarios.append((f"corpus-{name[:-len('.json')]}", config))
+    return tuple(scenarios)
+
+
+@dataclass(frozen=True)
+class TournamentSpec:
+    """A declarative tournament: scenarios x seeds x policies."""
+
+    scenarios: tuple[tuple[str, SimulationConfig], ...] = field(
+        default_factory=default_scenarios
+    )
+    policies: tuple[str, ...] = ()
+    seeds: tuple[int, ...] = tuple(range(3))
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise ValueError("tournament needs at least one scenario")
+        if not self.seeds:
+            raise ValueError("tournament needs at least one seed")
+        if len({name for name, _ in self.scenarios}) != len(self.scenarios):
+            raise ValueError("scenario names must be unique")
+        if not self.policies:
+            # Freeze the registry contents at spec-construction time so the
+            # spec (and hence the report) is self-describing.
+            object.__setattr__(self, "policies", tuple(registered_schedulers()))
+        for name in self.policies:
+            if name not in registered_schedulers():
+                raise ValueError(
+                    f"unknown policy {name!r}; choose from {registered_schedulers()}"
+                )
+
+    def grid(self) -> tuple[list[SimulationConfig], list[tuple[str, int, str]]]:
+        """The trial grid and its (scenario, seed, policy) keys, in the
+        canonical scenario-major order that makes reports bit-identical
+        across serial, parallel, and resumed runs."""
+        configs: list[SimulationConfig] = []
+        keys: list[tuple[str, int, str]] = []
+        for scenario_name, scenario in self.scenarios:
+            for seed in self.seeds:
+                for policy in self.policies:
+                    configs.append(scenario.with_scheduler(policy).with_seed(seed))
+                    keys.append((scenario_name, seed, policy))
+        return configs, keys
+
+    def to_dict(self) -> dict:
+        return {
+            "scenarios": [
+                {"name": name, "config": config_to_dict(config)}
+                for name, config in self.scenarios
+            ],
+            "policies": list(self.policies),
+            "seeds": list(self.seeds),
+        }
+
+
+def run_tournament(
+    spec: TournamentSpec,
+    policy: CampaignPolicy | None = None,
+    journal_path: str | None = None,
+    cache: ResultCache | None = None,
+    progress=None,
+) -> tuple[dict, CampaignOutcome]:
+    """Run (or resume) a tournament; returns (report, outcome).
+
+    The report (schema ``repro.tournament-report/v1``) contains only
+    quantities that are a pure function of the spec and the terminal trial
+    outcomes, so interrupted-and-resumed and serial-vs-parallel runs emit
+    byte-identical JSON.
+    """
+    if policy is None:
+        policy = CampaignPolicy(on_error="collect")
+    configs, keys = spec.grid()
+    engine = CampaignEngine(
+        runner=sweep_trial,
+        policy=policy,
+        journal_path=journal_path,
+        cache=cache,
+        progress=progress,
+    )
+    outcome = engine.run(configs)
+
+    rows: dict[str, dict] = {}
+    for name in spec.policies:
+        merged = {
+            "degraded_read": LatencyDigest(),
+            "sojourn": LatencyDigest(),
+            "makespan": LatencyDigest(),
+        }
+        trials = done = refused = 0
+        jobs = {"submitted": 0, "completed": 0, "failed": 0}
+        scenarios_done: dict[str, int] = {
+            scenario_name: 0 for scenario_name, _ in spec.scenarios
+        }
+        # Merge in grid order -- the canonical order shared with the
+        # campaign layer that keeps every execution mode bit-identical.
+        for (scenario_name, _seed, key_policy), payload in zip(keys, outcome.results):
+            if key_policy != name:
+                continue
+            trials += 1
+            if payload is None:
+                continue
+            done += 1
+            if payload["refused"]:
+                refused += 1
+                continue
+            scenarios_done[scenario_name] += 1
+            for counter in jobs:
+                jobs[counter] += payload["jobs"][counter]
+            for digest_name, digest in merged.items():
+                digest.merge(LatencyDigest.from_dict(payload["digests"][digest_name]))
+        rows[name] = {
+            "trials": trials,
+            "done": done,
+            "refused": refused,
+            "jobs": jobs,
+            "scenarios": scenarios_done,
+            "makespan_mean_s": merged["makespan"].mean,
+            "makespan_seconds": merged["makespan"].percentiles(),
+            "degraded_read_seconds": merged["degraded_read"].percentiles(),
+            "telemetry": {
+                digest_name: digest.to_dict()
+                for digest_name, digest in merged.items()
+            },
+        }
+
+    report = {
+        "schema": TOURNAMENT_SCHEMA,
+        "tournament": spec.to_dict(),
+        "accounting": {
+            "submitted": outcome.counters.submitted,
+            "done": outcome.counters.done,
+            "failed": outcome.counters.failed,
+            "quarantined": outcome.counters.quarantined,
+        },
+        "failures": [failure.to_dict() for failure in outcome.failures],
+        "policies": rows,
+        "leaderboard": _rank(rows),
+    }
+    return report, outcome
+
+
+def _rank(rows: dict[str, dict]) -> list[dict]:
+    """Ranked leaderboard entries: lowest mean makespan wins.
+
+    Ties break on degraded-read p99, then name; policies with no completed
+    work rank last (alphabetically among themselves).  Composite jobs
+    scores are carried along for the report reader.
+    """
+    import math
+
+    def sort_key(item: tuple[str, dict]):
+        name, row = item
+        mean = row["makespan_mean_s"]
+        p99 = row["degraded_read_seconds"]["p99"]
+        return (
+            mean if mean is not None else math.inf,
+            p99 if p99 is not None else math.inf,
+            name,
+        )
+
+    entries = []
+    for rank, (name, row) in enumerate(sorted(rows.items(), key=sort_key), start=1):
+        entries.append(
+            {
+                "rank": rank,
+                "policy": name,
+                "makespan_mean_s": row["makespan_mean_s"],
+                "makespan_p50_s": row["makespan_seconds"]["p50"],
+                "degraded_p99_s": row["degraded_read_seconds"]["p99"],
+                "jobs_completed": row["jobs"]["completed"],
+                "trials_done": row["done"],
+                "refused": row["refused"],
+            }
+        )
+    return entries
+
+
+def report_to_json(report: dict) -> str:
+    """Canonical JSON for a tournament report (bit-identical across runs)."""
+    return json.dumps(report, sort_keys=True, indent=2, allow_nan=False) + "\n"
+
+
+def render_leaderboard(report: dict) -> str:
+    """Human-readable ranked leaderboard (the CLI's default output)."""
+    accounting = report["accounting"]
+    scenario_count = len(report["tournament"]["scenarios"])
+    seed_count = len(report["tournament"]["seeds"])
+    lines = [
+        "== tournament ==",
+        f"{len(report['policies'])} policies x {scenario_count} scenario(s)"
+        f" x {seed_count} seed(s):"
+        f" {accounting['submitted']} submitted, {accounting['done']} done,"
+        f" {accounting['failed']} failed, {accounting['quarantined']} quarantined",
+        f"{'rank':>4}  {'policy':<14} {'makespan mean':>14} {'p50':>9}"
+        f" {'degraded p99':>13} {'jobs':>9}",
+    ]
+
+    def _fmt(value, pattern="{:.1f}s"):
+        return pattern.format(value) if value is not None else "-"
+
+    for entry in report["leaderboard"]:
+        lines.append(
+            f"{entry['rank']:>4}  {entry['policy']:<14}"
+            f" {_fmt(entry['makespan_mean_s']):>14}"
+            f" {_fmt(entry['makespan_p50_s']):>9}"
+            f" {_fmt(entry['degraded_p99_s'], '{:.2f}s'):>13}"
+            f" {entry['jobs_completed']:>9,}"
+        )
+    for failure in report["failures"]:
+        lines.append(
+            f"  FAILED trial {failure['index']} [{failure['kind']}] "
+            f"after {failure['attempts']} attempt(s): {failure['message']}"
+        )
+    return "\n".join(lines)

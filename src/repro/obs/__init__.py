@@ -50,12 +50,14 @@ from repro.obs.metrics import Counter, Gauge, MetricsRegistry, TimeWeightedSerie
 from repro.obs.profile import Profiler
 from repro.obs.report import (
     CAMPAIGN_SCHEMA,
+    TOURNAMENT_SCHEMA,
     campaign_report_html,
     diff_reports,
     has_regression,
     render_diff_text,
     report_html,
     run_report_html,
+    tournament_report_html,
 )
 
 __all__ = [
@@ -71,6 +73,7 @@ __all__ = [
     "REPAIR_PID",
     "RUN_SUMMARY_SCHEMA",
     "RunAnalysis",
+    "TOURNAMENT_SCHEMA",
     "TimeWeightedSeries",
     "Timeline",
     "WILDCARD",
@@ -92,5 +95,6 @@ __all__ = [
     "report_html",
     "run_report_html",
     "sanitize",
+    "tournament_report_html",
     "write_text",
 ]

@@ -35,6 +35,9 @@ from repro.obs.digest import LatencyDigest
 #: analysis layer never imports the campaign driver).
 CAMPAIGN_SCHEMA = "repro.reliability-campaign/v1"
 
+#: Schema tag of policy-tournament reports (repro.experiments.tournament).
+TOURNAMENT_SCHEMA = "repro.tournament-report/v1"
+
 #: Default relative-change threshold for ``repro obs diff``.
 DEFAULT_THRESHOLD = 0.10
 
@@ -107,12 +110,40 @@ def _campaign_metrics(report: dict) -> dict[str, dict]:
     return metrics
 
 
+def _tournament_metrics(report: dict) -> dict[str, dict]:
+    """The diffable metric set of one tournament report."""
+    metrics: dict[str, dict] = {}
+    for policy, row in report.get("policies", {}).items():
+        makespan = row.get("makespan_seconds", {})
+        degraded = row.get("degraded_read_seconds", {})
+        jobs = row.get("jobs", {})
+        metrics[f"{policy}:makespan_mean_s"] = {
+            "value": row.get("makespan_mean_s"),
+            "direction": "lower",
+        }
+        metrics[f"{policy}:makespan_p50_s"] = {
+            "value": makespan.get("p50"),
+            "direction": "lower",
+        }
+        metrics[f"{policy}:degraded_p99_s"] = {
+            "value": degraded.get("p99"),
+            "direction": "lower",
+        }
+        metrics[f"{policy}:jobs_completed"] = {
+            "value": jobs.get("completed"),
+            "direction": "higher",
+        }
+    return metrics
+
+
 def _metrics_of(document: dict) -> dict[str, dict]:
     schema = document.get("schema")
     if schema == RUN_SUMMARY_SCHEMA:
         return _run_metrics(document)
     if schema == CAMPAIGN_SCHEMA:
         return _campaign_metrics(document)
+    if schema == TOURNAMENT_SCHEMA:
+        return _tournament_metrics(document)
     raise ValueError(f"unrecognised analysis document schema: {schema!r}")
 
 
@@ -682,6 +713,96 @@ def campaign_report_html(report: dict) -> str:
     return _page("Reliability campaign", "".join(sections))
 
 
+def tournament_report_html(report: dict) -> str:
+    """Render one policy-tournament report as a leaderboard dashboard."""
+    if report.get("schema") != TOURNAMENT_SCHEMA:
+        raise ValueError(f"not a tournament report: schema {report.get('schema')!r}")
+    spec = report.get("tournament", {})
+    accounting = report.get("accounting", {})
+    leaderboard = report.get("leaderboard", [])
+    policies = report.get("policies", {})
+    sections = []
+
+    scenario_names = [entry.get("name", "?") for entry in spec.get("scenarios", [])]
+    subtitle = (
+        f"{len(spec.get('policies', []))} policies × "
+        f"{len(scenario_names)} scenario(s) × {len(spec.get('seeds', []))} seed(s)"
+    )
+    winner = leaderboard[0]["policy"] if leaderboard else "n/a"
+    sections.append(
+        f"<h1>Policy tournament</h1><p class=subtitle>{_esc(subtitle)}</p>"
+        '<div class="card"><div class="hero-label">Winner (lowest mean makespan)</div>'
+        f'<div class="hero">{_esc(winner)}</div></div>'
+    )
+
+    tiles = [
+        _tile("Trials", f"{accounting.get('submitted', 0):,}"),
+        _tile("Done", f"{accounting.get('done', 0):,}"),
+        _tile("Failed", f"{accounting.get('failed', 0):,}"),
+        _tile("Quarantined", f"{accounting.get('quarantined', 0):,}"),
+    ]
+    sections.append(f'<div class="tiles">{"".join(tiles)}</div>')
+
+    bar_rows = []
+    ranking_rows = []
+    for entry in leaderboard:
+        mean = entry.get("makespan_mean_s")
+        if mean is not None:
+            bar_rows.append(
+                (entry["policy"], [("makespan mean", mean, "--series-1")])
+            )
+        ranking_rows.append(
+            f"<tr><td class=n>{entry.get('rank')}</td>"
+            f"<td>{_esc(entry.get('policy', '?'))}</td>"
+            f"<td class=n>{_esc(_num(mean))}</td>"
+            f"<td class=n>{_esc(_num(entry.get('makespan_p50_s')))}</td>"
+            f"<td class=n>{_esc(_num(entry.get('degraded_p99_s')))}</td>"
+            f"<td class=n>{entry.get('jobs_completed', 0):,}</td>"
+            f"<td class=n>{entry.get('trials_done', 0):,}</td>"
+            f"<td class=n>{entry.get('refused', 0):,}</td></tr>"
+        )
+    sections.append(
+        '<div class="card"><h2>Leaderboard</h2>'
+        + _stacked_bars(bar_rows)
+        + "<table><thead><tr><th class=n>rank</th><th>policy</th>"
+        "<th class=n>makespan mean (s)</th><th class=n>makespan p50 (s)</th>"
+        "<th class=n>degraded p99 (s)</th><th class=n>jobs done</th>"
+        "<th class=n>trials</th><th class=n>refused</th></tr></thead>"
+        f"<tbody>{''.join(ranking_rows)}</tbody></table></div>"
+    )
+
+    telemetry_sections = []
+    for policy in sorted(policies):
+        telemetry = policies[policy].get("telemetry")
+        if telemetry:
+            telemetry_sections.append(
+                f"<h2>{_esc(policy)} digests</h2>" + _percentile_table(telemetry)
+            )
+    if telemetry_sections:
+        sections.append('<div class="card">' + "".join(telemetry_sections) + "</div>")
+
+    failures = report.get("failures", [])
+    if failures:
+        failure_rows = [
+            f"<tr><td class=n>{failure.get('index')}</td>"
+            f"<td>{_esc(failure.get('kind', '?'))}</td>"
+            f"<td class=n>{failure.get('attempts', 0)}</td>"
+            f"<td>{_esc(failure.get('message', ''))}</td></tr>"
+            for failure in failures
+        ]
+        sections.append(
+            '<div class="card"><h2>Failures</h2>'
+            "<table><thead><tr><th class=n>trial</th><th>kind</th>"
+            "<th class=n>attempts</th><th>message</th></tr></thead>"
+            f"<tbody>{''.join(failure_rows)}</tbody></table></div>"
+        )
+
+    sections.append(
+        f'<p class="muted">scenarios: {_esc(", ".join(scenario_names))}</p>'
+    )
+    return _page("Policy tournament", "".join(sections))
+
+
 def report_html(document: dict) -> str:
     """Render whichever analysis document this is (dispatch on schema)."""
     schema = document.get("schema")
@@ -689,4 +810,6 @@ def report_html(document: dict) -> str:
         return run_report_html(document)
     if schema == CAMPAIGN_SCHEMA:
         return campaign_report_html(document)
+    if schema == TOURNAMENT_SCHEMA:
+        return tournament_report_html(document)
     raise ValueError(f"unrecognised analysis document schema: {schema!r}")

@@ -21,6 +21,15 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", ".."))
 
 from tests.integration.test_golden_equivalence import capture, golden_cases  # noqa: E402
+from tests.integration.test_policy_differential import capture_steal_trace  # noqa: E402
+
+
+def _write(out_dir: str, name: str, payload: dict) -> str:
+    path = os.path.join(out_dir, f"{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, allow_nan=False)
+        handle.write("\n")
+    return path
 
 
 def main() -> None:
@@ -28,11 +37,11 @@ def main() -> None:
     os.makedirs(out_dir, exist_ok=True)
     for name, config in sorted(golden_cases().items()):
         payload = capture(config)
-        path = os.path.join(out_dir, f"{name}.json")
-        with open(path, "w") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True, allow_nan=False)
-            handle.write("\n")
+        path = _write(out_dir, name, payload)
         print(f"wrote {path} (dispatched={payload['dispatched']})")
+    trace = capture_steal_trace()
+    path = _write(out_dir, "steal-decisions", trace)
+    print(f"wrote {path} (decisions={len(trace['decisions'])})")
 
 
 if __name__ == "__main__":

@@ -3,7 +3,10 @@
 ``scenario_strategy()`` is the same generator ``repro fuzz`` uses, driven
 here by hypothesis: any scenario it can produce must build a valid
 :class:`SimulationConfig`, survive serialization round-tripping, and run
-every scheduler to a clean outcome under the invariant monitor.
+to a clean outcome under the invariant monitor -- both under the paper's
+scheduler triple and under the scenario's own *drawn* policy, which the
+generator samples from the full registry (so zoo policies are covered the
+moment they register).
 """
 
 from __future__ import annotations
@@ -32,7 +35,7 @@ def test_generated_scenarios_round_trip_serialization(config):
 @given(config=scenario_strategy())
 @_SETTINGS
 def test_generated_scenarios_run_clean_under_monitor(config):
-    for scheduler in SCHEDULERS:
+    for scheduler in sorted({*SCHEDULERS, config.scheduler}):
         report = run_checked_trial(config, scheduler)
         assert not report.failed, (
             f"{scheduler} on generated scenario: {report.status}\n{report.message}"

@@ -302,8 +302,12 @@ class TestFuzz:
 
         monkeypatch.setattr(degraded_first, "_FORCE_PACING_BREAK", True)
         corpus = tmp_path / "corpus"
+        # Pin the policy axis to BDF: the forced pacing break lives in the
+        # BDF assign path, and the default per-scenario draw from the full
+        # registry may not sample it within a handful of trials.
         code = main(
-            ["fuzz", "--trials", "6", "--seed", "0", "--corpus", str(corpus)]
+            ["fuzz", "--trials", "10", "--seed", "0", "--schedulers", "bdf",
+             "--corpus", str(corpus)]
         )
         assert code == 3
         err = capsys.readouterr().err
@@ -311,6 +315,21 @@ class TestFuzz:
         saved = list(corpus.glob("repro-*.json"))
         assert saved, "findings must be saved into the corpus directory"
         assert any("bdf-pacing" in path.name for path in saved)
+
+    def test_schedulers_flag_pins_the_policy_axis(self, capsys, tmp_path):
+        import json
+
+        report = tmp_path / "fuzz.json"
+        code = main(
+            ["fuzz", "--trials", "2", "--schedulers", "LF,edf",
+             "--report", str(report)]
+        )
+        assert code == 0
+        assert json.loads(report.read_text())["schedulers"] == ["LF", "EDF"]
+
+    def test_unknown_schedulers_flag_exits_2(self, capsys):
+        assert main(["fuzz", "--trials", "1", "--schedulers", "NOPE"]) == 2
+        assert "NOPE" in capsys.readouterr().err
 
     def test_bad_trials_exits_2(self, capsys):
         assert main(["fuzz", "--trials", "0"]) == 2
@@ -322,3 +341,67 @@ class TestFuzz:
         target = blocker / "sub" / "fuzz.json"
         assert main(["fuzz", "--trials", "1", "--report", str(target)]) == 2
         assert "cannot write" in capsys.readouterr().err
+
+
+class TestPoliciesCommand:
+    def test_list_shows_every_registered_policy(self, capsys):
+        from repro.core.scheduler import registered_schedulers
+
+        assert main(["policies", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in registered_schedulers():
+            assert name in out
+        # One line per policy, each carrying a one-line summary.
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert len(lines) == len(registered_schedulers())
+
+    def test_simulate_accepts_policy_alias(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--nodes", "8", "--racks", "2", "--code", "4,2",
+                "--blocks", "24", "--policy", "steal", "--seed", "1",
+            ]
+        )
+        assert code == 0
+        assert "scheduler: STEAL" in capsys.readouterr().out
+
+    def test_simulate_unknown_policy_exits_2(self, capsys):
+        assert main(["simulate", "--policy", "NOT-A-POLICY"]) == 2
+        err = capsys.readouterr().err
+        assert "NOT-A-POLICY" in err and "choose from" in err
+
+
+class TestTournament:
+    def test_smoke_run_writes_ranked_report(self, capsys, tmp_path):
+        import json
+
+        report_path = tmp_path / "tournament.json"
+        code = main(
+            [
+                "tournament",
+                "--nodes", "12", "--racks", "3", "--code", "6,4",
+                "--blocks", "48", "--seeds", "1",
+                "--policies", "LF,edf",
+                "--workers", "2",
+                "--json", str(report_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "== tournament ==" in out
+        assert "2 policies x 5 scenario(s) x 1 seed(s)" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["schema"] == "repro.tournament-report/v1"
+        assert payload["tournament"]["policies"] == ["LF", "EDF"]
+        assert payload["accounting"]["submitted"] == 10
+        assert payload["accounting"]["failed"] == 0
+        assert [entry["rank"] for entry in payload["leaderboard"]] == [1, 2]
+
+    def test_unknown_policy_exits_2(self, capsys):
+        assert main(["tournament", "--policies", "LF,NOPE"]) == 2
+        assert "NOPE" in capsys.readouterr().err
+
+    def test_bad_code_exits_2(self, capsys):
+        assert main(["tournament", "--code", "oops"]) == 2
+        assert "--code" in capsys.readouterr().err

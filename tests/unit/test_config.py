@@ -41,7 +41,7 @@ class TestSimulationConfig:
 
     def test_unknown_scheduler(self):
         with pytest.raises(ValueError):
-            SimulationConfig(scheduler="FIFO")
+            SimulationConfig(scheduler="NOT-A-POLICY")
 
     def test_bad_cluster(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,190 @@
+"""Unit tests for the scheduler zoo (policy-specific behaviour).
+
+The universal contract (slot discipline, no double assignment, no
+starvation, determinism) lives in
+``tests/property/test_policy_conformance.py``; these tests pin what makes
+each zoo policy *itself*.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.scheduler import SchedulerContext, make_scheduler
+from repro.core.tasks import JobTaskState
+from repro.core.zoo import CriticalPathScheduler
+from repro.ec.codec import CodeParams
+from repro.mapreduce.config import JobConfig
+from repro.mapreduce.job import MapTaskCategory
+from repro.sim.rng import RngStreams
+from repro.storage.hdfs import HdfsRaidCluster
+
+
+def build(seed=11, num_blocks=24, fail_node=0, speed_factors=None,
+          map_slots=2, job_id=0):
+    topology = ClusterTopology.from_rack_sizes(
+        [3, 3], map_slots=map_slots, speed_factors=speed_factors
+    )
+    cluster = HdfsRaidCluster(
+        topology, CodeParams(4, 2), num_native_blocks=num_blocks,
+        placement="random", rng=RngStreams(seed),
+    )
+    failed = frozenset({fail_node})
+    config = JobConfig(num_blocks=num_blocks, num_reduce_tasks=2)
+    state = JobTaskState(
+        job_id, config, cluster.failure_view(failed), cluster.block_map, topology
+    )
+    context = SchedulerContext(
+        topology=topology,
+        live_nodes=frozenset(topology.node_ids()) - failed,
+        expected_degraded_read_time=4.0,
+        map_time_mean=config.map_time_mean,
+        reduce_slowstart=0.05,
+    )
+    return state, context, cluster
+
+
+def drain(scheduler, states, context, slots=2):
+    stream = []
+    now = 0.0
+    rounds = 0
+    while any(state.has_unassigned_maps() for state in states):
+        for slave in sorted(context.live_nodes):
+            stream.extend(scheduler.assign_maps(slave, slots, states, now))
+        now += 3.0
+        rounds += 1
+        assert rounds < 2000
+    return stream
+
+
+class TestRandomScheduler:
+    def test_fresh_instances_replay_identically(self):
+        streams = []
+        for _ in range(2):
+            state, context, _ = build()
+            scheduler = make_scheduler("RANDOM", context)
+            streams.append(
+                [(a.block, a.slave_id, a.category) for a in drain(scheduler, [state], context)]
+            )
+        assert streams[0] == streams[1]
+
+    def test_is_locality_blind(self):
+        """RANDOM picks sources without regard to the heartbeating slave."""
+        state, context, _ = build(num_blocks=48)
+        scheduler = make_scheduler("RANDOM", context)
+        stream = drain(scheduler, [state], context)
+        categories = {assignment.category for assignment in stream}
+        # A locality-blind draw lands remote tasks essentially always.
+        assert MapTaskCategory.REMOTE in categories
+
+
+class TestFifoScheduler:
+    def test_strict_job_order(self):
+        first, context, _ = build(num_blocks=16, job_id=0)
+        second, _, _ = build(num_blocks=16, job_id=1)
+        scheduler = make_scheduler("FIFO", context)
+        stream = drain(scheduler, [first, second], context)
+        job_ids = [assignment.job_id for assignment in stream]
+        assert job_ids == sorted(job_ids), "FIFO interleaved jobs"
+
+
+class TestWorkStealingScheduler:
+    def test_own_queue_first(self):
+        state, context, _ = build(num_blocks=48)
+        scheduler = make_scheduler("STEAL", context)
+        slave = next(iter(sorted(context.live_nodes)))
+        while state.pending_node_local_count(slave) > 0:
+            assignments = scheduler.assign_maps(slave, 1, [state], 0.0)
+            assert assignments[0].category is MapTaskCategory.NODE_LOCAL
+            assert assignments[0].slave_id == slave
+
+    def test_victim_is_most_backlogged_live_node(self):
+        state, context, _ = build(num_blocks=48)
+        scheduler = make_scheduler("STEAL", context)
+        slave = next(iter(sorted(context.live_nodes)))
+        backlogs = {
+            node_id: state.pending_node_local_count(node_id)
+            for node_id in sorted(context.live_nodes)
+            if node_id != slave
+        }
+        expected = max(
+            (node for node, depth in backlogs.items() if depth > 0),
+            key=lambda node: (backlogs[node], -node),
+            default=None,
+        )
+        assert scheduler._pick_victim(state, slave) == expected
+
+
+class TestCriticalPathScheduler:
+    def test_b_level_formula(self):
+        state, context, _ = build(num_blocks=24)
+        scheduler = CriticalPathScheduler(context)
+        degraded = state.pending_degraded_count()
+        normal = (state.M - state.m) - degraded
+        reduces = len(state.pending_reduce_tasks)
+        expected = (
+            normal * context.map_time_mean
+            + degraded * (context.map_time_mean + context.expected_degraded_read_time)
+            + reduces * context.map_time_mean
+        )
+        assert scheduler._b_level(state) == pytest.approx(expected)
+
+    def test_longest_job_served_first(self):
+        small, context, _ = build(num_blocks=8, job_id=0)
+        large, _, _ = build(num_blocks=48, job_id=1)
+        scheduler = make_scheduler("CPATH", context)
+        slave = next(iter(sorted(context.live_nodes)))
+        assignments = scheduler.assign_maps(slave, 1, [small, large], 0.0)
+        assert assignments, "no assignment despite pending work"
+        assert assignments[0].job_id == 1, "CPATH ignored the b-level order"
+
+
+class TestTaskCloningScheduler:
+    def test_caps_assignments_in_the_tail(self):
+        # 6 nodes x 2 slots = capacity 10 live; 8 pending maps => tail.
+        state, context, _ = build(num_blocks=8)
+        scheduler = make_scheduler("CLONE", context)
+        slave = next(iter(sorted(context.live_nodes)))
+        assignments = scheduler.assign_maps(slave, 4, [state], 0.0)
+        assert len(assignments) == 1, "tail heartbeat must hold slots back"
+
+    def test_fills_slots_outside_the_tail(self):
+        # 48 pending maps >> capacity 10 => normal LF-order filling.
+        state, context, _ = build(num_blocks=48)
+        scheduler = make_scheduler("CLONE", context)
+        slave = next(iter(sorted(context.live_nodes)))
+        assignments = scheduler.assign_maps(slave, 4, [state], 0.0)
+        assert len(assignments) == 4
+
+
+class TestHeterogeneityAwareScheduler:
+    SPEEDS = (0.5, 1.5, 1.0, 1.0, 1.0, 1.0)
+
+    def test_slow_nodes_get_fewer_slots(self):
+        state, context, _ = build(
+            num_blocks=48, fail_node=5, speed_factors=self.SPEEDS, map_slots=4
+        )
+        scheduler = make_scheduler("HETERO", context)
+        slow = scheduler.assign_maps(0, 4, [state], 0.0)  # speed 0.5 vs mean 1.0
+        assert len(slow) <= 2
+
+    def test_degraded_admission_requires_at_least_mean_speed(self):
+        state, context, _ = build(
+            num_blocks=48, fail_node=5, speed_factors=self.SPEEDS
+        )
+        scheduler = make_scheduler("HETERO", context)
+        assert state.has_unassigned_normal()
+        assert not scheduler._degraded_guards(state, 0, 0.0)  # slow node
+        assert scheduler._degraded_guards(state, 1, 0.0)  # fast node
+
+    def test_speed_gate_lifts_when_only_degraded_work_remains(self):
+        state, context, _ = build(
+            num_blocks=24, fail_node=5, speed_factors=self.SPEEDS
+        )
+        while state.has_unassigned_normal():
+            assert state.pop_local(1) or state.pop_remote(1)
+        scheduler = make_scheduler("HETERO", context)
+        assert scheduler._degraded_guards(state, 0, 0.0), (
+            "slow node must still take degraded work when nothing else remains"
+        )

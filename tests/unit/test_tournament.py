@@ -1,0 +1,190 @@
+"""Unit tests for the policy tournament (spec, grid, ranking, report)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.core.scheduler import registered_schedulers
+from repro.ec import CodeParams
+from repro.experiments.campaign import CampaignPolicy
+from repro.experiments.tournament import (
+    TOURNAMENT_SCHEMA,
+    TournamentSpec,
+    _rank,
+    corpus_scenarios,
+    default_scenarios,
+    render_leaderboard,
+    report_to_json,
+    run_tournament,
+)
+from repro.mapreduce.config import JobConfig, SimulationConfig
+from repro.mapreduce.serialization import config_to_dict
+
+
+def small_config(**overrides) -> SimulationConfig:
+    defaults = dict(
+        num_nodes=12, num_racks=3, code=CodeParams(6, 4),
+        jobs=(JobConfig(num_blocks=48),),
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestTournamentSpec:
+    def test_empty_scenarios_rejected(self):
+        with pytest.raises(ValueError, match="at least one scenario"):
+            TournamentSpec(scenarios=(), seeds=(0,))
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError, match="at least one seed"):
+            TournamentSpec(scenarios=(("a", small_config()),), seeds=())
+
+    def test_duplicate_scenario_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            TournamentSpec(
+                scenarios=(("a", small_config()), ("a", small_config())),
+                seeds=(0,),
+            )
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="NOT-A-POLICY"):
+            TournamentSpec(
+                scenarios=(("a", small_config()),),
+                policies=("LF", "NOT-A-POLICY"),
+                seeds=(0,),
+            )
+
+    def test_default_policies_freeze_the_registry(self):
+        spec = TournamentSpec(scenarios=(("a", small_config()),), seeds=(0,))
+        assert spec.policies == tuple(registered_schedulers())
+
+    def test_grid_is_scenario_major_then_seed_then_policy(self):
+        spec = TournamentSpec(
+            scenarios=(("one", small_config()), ("two", small_config(seed=9))),
+            policies=("LF", "EDF"),
+            seeds=(0, 1),
+        )
+        configs, keys = spec.grid()
+        assert keys == [
+            ("one", 0, "LF"), ("one", 0, "EDF"),
+            ("one", 1, "LF"), ("one", 1, "EDF"),
+            ("two", 0, "LF"), ("two", 0, "EDF"),
+            ("two", 1, "LF"), ("two", 1, "EDF"),
+        ]
+        for config, (_name, seed, policy) in zip(configs, keys):
+            assert config.scheduler == policy
+            assert config.seed == seed
+
+    def test_default_scenarios_have_unique_stable_names(self):
+        scenarios = default_scenarios(small_config())
+        names = [name for name, _ in scenarios]
+        assert names == [
+            "fig7-default", "fig7-half-block", "fig7-rack-failure",
+            "fig8-heterogeneous", "fig7f-multi-job",
+        ]
+
+    def test_to_dict_round_trips_through_json(self):
+        spec = TournamentSpec(
+            scenarios=(("a", small_config()),), policies=("LF",), seeds=(0,)
+        )
+        payload = json.loads(json.dumps(spec.to_dict()))
+        assert payload["policies"] == ["LF"]
+        assert payload["seeds"] == [0]
+        assert payload["scenarios"][0]["name"] == "a"
+
+
+class TestRanking:
+    @staticmethod
+    def row(mean, p99, completed=10, done=1):
+        return {
+            "makespan_mean_s": mean,
+            "makespan_seconds": {"p50": mean},
+            "degraded_read_seconds": {"p99": p99},
+            "jobs": {"completed": completed},
+            "done": done,
+            "refused": 0,
+        }
+
+    def test_lowest_mean_makespan_wins(self):
+        rows = {"SLOW": self.row(300.0, 1.0), "FAST": self.row(100.0, 9.0)}
+        board = _rank(rows)
+        assert [entry["policy"] for entry in board] == ["FAST", "SLOW"]
+        assert [entry["rank"] for entry in board] == [1, 2]
+
+    def test_ties_break_on_degraded_p99_then_name(self):
+        rows = {
+            "B": self.row(100.0, 2.0),
+            "A": self.row(100.0, 2.0),
+            "C": self.row(100.0, 1.0),
+        }
+        assert [entry["policy"] for entry in _rank(rows)] == ["C", "A", "B"]
+
+    def test_policies_with_no_results_rank_last(self):
+        rows = {
+            "EMPTY": self.row(None, None, completed=0, done=0),
+            "OK": self.row(500.0, 5.0),
+        }
+        board = _rank(rows)
+        assert board[-1]["policy"] == "EMPTY"
+        assert board[-1]["makespan_mean_s"] is None
+
+
+class TestCorpusScenarios:
+    @staticmethod
+    def write_repro(path, config, scheduler):
+        payload = {"config": config_to_dict(config), "scheduler": scheduler}
+        path.write_text(json.dumps(payload, sort_keys=True))
+
+    def test_loads_repro_files_sorted_by_name(self, tmp_path):
+        self.write_repro(tmp_path / "b-case.json", small_config(seed=7), "EDF")
+        self.write_repro(tmp_path / "a-case.json", small_config(seed=3), "LF")
+        (tmp_path / "notes.txt").write_text("ignored")
+        scenarios = corpus_scenarios(str(tmp_path))
+        assert [name for name, _ in scenarios] == [
+            "corpus-a-case", "corpus-b-case"
+        ]
+        # The embedded scheduler/seed are overridden by the tournament axes,
+        # but the cluster shape must survive the round trip.
+        assert scenarios[0][1].num_nodes == 12
+
+
+class TestRunTournament:
+    def test_report_schema_and_accounting(self, tmp_path):
+        spec = TournamentSpec(
+            scenarios=(("small", small_config()),),
+            policies=("LF", "EDF"),
+            seeds=(0,),
+        )
+        report, outcome = run_tournament(
+            spec,
+            CampaignPolicy(workers=1, on_error="collect"),
+            journal_path=str(tmp_path / "journal.jsonl"),
+        )
+        assert report["schema"] == TOURNAMENT_SCHEMA
+        assert report["accounting"]["submitted"] == 2
+        assert report["accounting"]["done"] == 2
+        assert report["accounting"]["failed"] == 0
+        assert outcome.counters.done == 2
+        assert set(report["policies"]) == {"LF", "EDF"}
+        for row in report["policies"].values():
+            assert row["trials"] == 1
+            assert row["done"] == 1
+            assert row["scenarios"] == {"small": 1}
+            assert row["makespan_mean_s"] is not None
+        board = report["leaderboard"]
+        assert len(board) == 2
+        assert board[0]["makespan_mean_s"] <= board[1]["makespan_mean_s"]
+
+        text = render_leaderboard(report)
+        assert "== tournament ==" in text
+        assert "2 policies x 1 scenario(s) x 1 seed(s)" in text
+        for name in ("LF", "EDF"):
+            assert name in text
+
+        canonical = report_to_json(report)
+        assert canonical.endswith("\n")
+        assert json.loads(canonical) == json.loads(report_to_json(report))
+        assert not math.isnan(json.loads(canonical)["accounting"]["done"])
